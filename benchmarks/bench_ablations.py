@@ -1,0 +1,104 @@
+"""Ablation benches on SWIM's design choices (DESIGN.md Sec. 4).
+
+Each bench regenerates one ablation table; shape assertions encode the
+expected directional outcomes (e.g. finer granularity never needs *more*
+NWC to meet the target; the K-bit slicing keeps relative noise ~sigma).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import ablations as ab
+from repro.experiments.model_zoo import load_workload
+from repro.experiments.reporting import render_ablation
+from repro.utils.rng import RngStream
+
+from .conftest import save_artifact
+
+
+@pytest.fixture(scope="module")
+def zoo(scale):
+    return load_workload(scale.workload("lenet-digits"))
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return RngStream(404).child("ablations")
+
+
+def test_ablate_granularity(benchmark, zoo, rng, out_dir):
+    rows = benchmark.pedantic(
+        lambda: ab.ablate_granularity(zoo, rng.child("granularity")),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    save_artifact(out_dir, "ablation_granularity",
+                  render_ablation(rows, "Ablation — Algorithm 1 granularity p"))
+    by_p = {row.label: row.metrics for row in rows}
+    # Finer granularity stops at (weakly) smaller selected fractions.
+    assert by_p["p=0.01"]["selected_fraction"] <= (
+        by_p["p=0.25"]["selected_fraction"] + 1e-9
+    )
+    # And costs more accuracy evaluations per run.
+    assert by_p["p=0.01"]["evaluations"] >= by_p["p=0.25"]["evaluations"]
+
+
+def test_ablate_device_bits(benchmark, zoo, rng, out_dir):
+    rows = benchmark.pedantic(
+        lambda: ab.ablate_device_bits(zoo, rng.child("bits")),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    save_artifact(out_dir, "ablation_device_bits",
+                  render_ablation(rows, "Ablation — bits per device K"))
+    for row in rows:
+        # Eq. 16: the MSB slice dominates, keeping relative noise ~ sigma.
+        assert 0.05 <= row.metrics["relative_noise_std"] <= 0.2
+
+
+def test_ablate_tie_break(benchmark, zoo, rng, out_dir):
+    rows = benchmark.pedantic(
+        lambda: ab.ablate_tie_break(zoo, rng.child("tb")),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    save_artifact(out_dir, "ablation_tie_break",
+                  render_ablation(rows, "Ablation — magnitude tie-breaker"))
+    assert len(rows) == 2
+
+
+def test_ablate_curvature_batches(benchmark, zoo, rng, out_dir):
+    rows = benchmark.pedantic(
+        lambda: ab.ablate_curvature_batches(zoo, rng.child("cb")),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    save_artifact(out_dir, "ablation_curvature_batches",
+                  render_ablation(rows, "Ablation — curvature batch count"))
+    # More data -> ranking closer to the full-dataset reference.
+    rhos = [row.metrics["spearman_vs_full"] for row in rows]
+    assert rhos[-1] >= rhos[0] - 0.05
+    assert rhos[-1] > 0.9
+
+
+def test_ablate_scorers(benchmark, zoo, rng, out_dir):
+    rows = benchmark.pedantic(
+        lambda: ab.ablate_scorers(zoo, rng.child("scorers")),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    save_artifact(out_dir, "ablation_scorers",
+                  render_ablation(rows, "Ablation — sensitivity scorers"))
+    by_name = {row.label: row.metrics["accuracy_mean"] for row in rows}
+    assert by_name["swim"] >= by_name["random"] - 0.005
+    assert by_name["swim"] >= by_name["magnitude"] - 0.005
+
+
+def test_ablate_differential(benchmark, zoo, rng, out_dir):
+    rows = benchmark.pedantic(
+        lambda: ab.ablate_differential(zoo, rng.child("diff")),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    save_artifact(out_dir, "ablation_differential",
+                  render_ablation(rows, "Ablation — differential columns"))
+    single, diff = rows
+    assert diff.metrics["relative_noise_std"] == pytest.approx(
+        single.metrics["relative_noise_std"] * np.sqrt(2), rel=1e-6
+    )

@@ -1,0 +1,56 @@
+"""Physical programming-cost reproduction of the paper's Sec. 1 headline:
+
+"programming even a ResNet-18 for CIFAR-10 to an nvCiM platform can take
+more than one week" — and what SWIM's NWC savings mean in hours.
+"""
+
+from __future__ import annotations
+
+from repro.cim import CostModel, format_duration
+
+from .conftest import save_artifact
+
+_PAPER_MODELS = (
+    ("LeNet (paper: 1.05e5 weights)", 1.05e5),
+    ("ConvNet (paper: 6.4e6 weights)", 6.4e6),
+    ("ResNet-18 (paper: 1.12e7 weights)", 1.12e7),
+)
+
+
+def test_programming_time_headline(benchmark, out_dir):
+    cost = CostModel()
+
+    def run():
+        lines = [
+            "Programming-cost model (5 ms/cycle, ~10 cycles/weight "
+            "write-verify)",
+            "",
+            f"{'model':36s} {'full write-verify':>18s} "
+            f"{'SWIM @ NWC=0.1':>15s} {'energy (full)':>14s}",
+        ]
+        for label, n_weights in _PAPER_MODELS:
+            full = cost.estimate_full_write_verify(n_weights)
+            swim = cost.speedup_report(n_weights, nwc=0.1)
+            lines.append(
+                f"{label:36s} {full['human']:>18s} "
+                f"{swim['selective_human']:>15s} "
+                f"{full['energy_mj']:>11.1f} mJ"
+            )
+        return lines
+
+    lines = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    save_artifact(out_dir, "programming_cost", "\n".join(lines))
+
+    # The headline: full write-verify of ResNet-18 lands in the
+    # "more than a few days" regime the paper quotes.
+    resnet_seconds = CostModel().estimate_full_write_verify(1.12e7)["seconds"]
+    assert 3 * 86400 < resnet_seconds < 21 * 86400
+    # And SWIM at NWC=0.1 turns days into half-days.
+    report = CostModel().speedup_report(1.12e7, nwc=0.1)
+    assert report["speedup"] == 10.0
+
+
+def test_format_duration_stability(benchmark):
+    values = [0.1, 5, 65, 3700, 90000, 900000]
+    result = benchmark(lambda: [format_duration(v) for v in values])
+    assert len(result) == len(values)

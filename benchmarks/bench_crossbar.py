@@ -1,0 +1,61 @@
+"""Crossbar tile path: ADC resolution sweep and MVM throughput.
+
+Validates (and documents) the effective-weight shortcut used by the Monte
+Carlo experiments: as ADC resolution grows, the explicit tile execution
+converges to the shortcut's result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cim import ConverterConfig, CrossbarConfig, CrossbarLinear
+from repro.utils.rng import RngStream
+from repro.utils.tables import Table
+
+from .conftest import save_artifact
+
+
+def _build(rng, adc_bits, rows=64):
+    weights = rng.child("w").normal(size=(32, 256)) * 0.1
+    return CrossbarLinear(
+        weights,
+        crossbar_config=CrossbarConfig(
+            rows=rows, adc=ConverterConfig(bits=adc_bits)
+        ),
+    )
+
+
+def test_adc_resolution_sweep(benchmark, out_dir):
+    rng = RngStream(31)
+    x = np.clip(rng.child("x").normal(size=(64, 256)) * 0.3, -1, 1)
+
+    def run():
+        table = Table(["ADC bits", "max |error|", "rms error"],
+                      title="Crossbar ADC resolution vs shortcut agreement")
+        results = []
+        for bits in (3, 4, 6, 8, 10, None):
+            xbar = _build(rng, bits)
+            want = x @ xbar.effective_weights().T
+            got = xbar(x)
+            err = np.abs(got - want)
+            rms = float(np.sqrt(np.mean(err ** 2)))
+            table.add_row([
+                "ideal" if bits is None else str(bits),
+                f"{err.max():.3e}", f"{rms:.3e}",
+            ])
+            results.append(err.max())
+        return table, results
+
+    table, errors = benchmark.pedantic(run, rounds=1, iterations=1,
+                                       warmup_rounds=0)
+    save_artifact(out_dir, "crossbar_adc", table.render())
+    assert errors[-1] < 1e-12          # ideal ADC is exact
+    assert errors[-2] < errors[0]      # resolution helps monotonically-ish
+
+
+def test_tile_mvm_throughput(benchmark):
+    rng = RngStream(32)
+    xbar = _build(rng, adc_bits=8)
+    x = np.clip(rng.child("x").normal(size=(64, 256)) * 0.3, -1, 1)
+    benchmark(lambda: xbar(x))

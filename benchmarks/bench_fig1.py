@@ -1,0 +1,44 @@
+"""Regenerates Fig. 1: which metric predicts weight sensitivity?
+
+Shape assertions: the second derivative correlates with the measured
+accuracy drop substantially better than the weight magnitude does (the
+paper reports Pearson 0.83 vs "little correlation").
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig1 import Fig1Config, run_fig1
+from repro.experiments.model_zoo import load_workload
+from repro.experiments.reporting import render_fig1
+from repro.utils.rng import RngStream
+
+from .conftest import save_artifact
+
+
+def test_fig1(benchmark, scale, out_dir):
+    zoo = load_workload(scale.workload("lenet-digits"))
+    config = Fig1Config(
+        n_weights=scale.fig1_weights,
+        mc_runs=scale.fig1_mc_runs,
+        eval_samples=scale.fig1_eval_samples,
+    )
+    result = benchmark.pedantic(
+        lambda: run_fig1(zoo, config, RngStream(101).child("fig1")),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    save_artifact(out_dir, "fig1", render_fig1(result, workload=zoo.spec.key))
+
+    # Fig. 1b beats Fig. 1a: curvature predicts the loss increase far
+    # better than magnitude does (loss increase is the continuous target
+    # Eq. 5 actually bounds; accuracy drop is its discretized proxy).
+    # The correlation strengthens with the Monte Carlo pair count: 0.7+
+    # at 8 pairs/weight (EXPERIMENTS.md); the bench's reduced budget
+    # asserts the robust part — positive and clearly above magnitude.
+    assert result.pearson_curvature_loss > 0.2, (
+        f"curvature/loss correlation too weak: {result.pearson_curvature_loss}"
+    )
+    assert result.pearson_curvature_loss > result.pearson_magnitude_loss + 0.1
+    # Accuracy drops are a coarse discretization; only compare when the
+    # perturbations moved accuracy at all (guaranteed at larger scales).
+    if result.accuracy_drops.std() > 0:
+        assert result.pearson_curvature_acc >= result.pearson_magnitude_acc - 0.1

@@ -1,0 +1,96 @@
+"""Retention drift after programming: does SWIM's advantage persist?
+
+Write-verify guarantees precision at t=0; conductances then drift.  This
+bench deploys (a) fully write-verified and (b) SWIM-10% weights, applies
+power-law drift at increasing time points, and reports the accuracy decay
+of both.  The expected shape: both degrade together — selective verify
+does not age worse than full verify, because drift hits verified and
+unverified devices alike.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cim import CimAccelerator, DeviceConfig, MappingConfig, RetentionModel
+from repro.core import SwimScorer, WeightSpace, evaluate_accuracy
+from repro.experiments.model_zoo import load_workload
+from repro.utils.rng import RngStream
+from repro.utils.tables import Table
+
+from .conftest import save_artifact
+
+_TIMES = (1.0, 3600.0, 86400.0, 30 * 86400.0)
+_LABELS = ("t0", "1 hour", "1 day", "30 days")
+
+
+def test_retention_decay_swim_vs_full(benchmark, scale, out_dir):
+    zoo = load_workload(scale.workload("lenet-digits"))
+    data = zoo.data
+    mapping = MappingConfig(weight_bits=zoo.spec.weight_bits,
+                            device=DeviceConfig(bits=4, sigma=0.1))
+    accelerator = CimAccelerator(zoo.model, mapping_config=mapping)
+    space = WeightSpace.from_model(zoo.model)
+    retention = RetentionModel(nu=0.01, sigma_nu=0.004,
+                               relaxation_sigma=0.004)
+    eval_x = data.test_x[: scale.eval_samples]
+    eval_y = data.test_y[: scale.eval_samples]
+    rng = RngStream(707).child("retention")
+
+    def run():
+        accelerator.program(rng.child("p").generator)
+        accelerator.write_verify_all(rng.child("wv").generator)
+        order = SwimScorer(max_batches=2).ranking(
+            zoo.model, space,
+            data.train_x[: scale.sense_samples],
+            data.train_y[: scale.sense_samples],
+        )
+        count = int(round(0.1 * space.total_size))
+        selections = {
+            "full write-verify": {
+                name: np.ones(m.codes.shape, dtype=bool)
+                for name, m in accelerator.map_model().items()
+            },
+            "SWIM @ NWC~0.1": space.masks_from_indices(order[:count]),
+        }
+        results = {}
+        for label, masks in selections.items():
+            accelerator.apply_selection(masks)
+            deployed = {
+                name: layer.weight_override.copy()
+                for name, layer in accelerator._layers.items()
+            }
+            accs = []
+            for t in _TIMES:
+                drift_rng = rng.child("drift", label, str(t)).generator
+                for name, layer in accelerator._layers.items():
+                    mapped = accelerator._mapped[name]
+                    # Drift the deployed *weights* via their code view.
+                    codes = deployed[name] / mapped.scale
+                    drifted = retention.apply(
+                        np.abs(codes), t, drift_rng,
+                        device_max_level=mapping.qmax,
+                    ) * np.sign(codes)
+                    layer.set_weight_override(
+                        (drifted * mapped.scale).astype(
+                            layer.weight.data.dtype)
+                    )
+                accs.append(evaluate_accuracy(zoo.model, eval_x, eval_y))
+            results[label] = accs
+        accelerator.clear()
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    table = Table(["deployment"] + list(_LABELS),
+                  title="Accuracy decay under retention drift")
+    for label, accs in results.items():
+        table.add_row([label] + [f"{100 * a:.2f}%" for a in accs])
+    save_artifact(out_dir, "retention_decay", table.render())
+
+    full = results["full write-verify"]
+    swim = results["SWIM @ NWC~0.1"]
+    # Both age; SWIM must not collapse disproportionately (within 10% of
+    # the full-verify decay at the 30-day point).
+    assert swim[-1] >= full[-1] - 0.10
+    # Drift hurts eventually: the 30-day accuracy is not above t0 + noise.
+    assert full[-1] <= full[0] + 0.02

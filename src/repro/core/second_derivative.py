@@ -1,0 +1,103 @@
+"""Single-pass diagonal second-derivative computation (paper Sec. 3.3).
+
+The paper's key efficiency contribution: instead of two million forward
+passes of finite differencing (Eq. 6), all diagonal second derivatives are
+obtained with *one* forward and one backward-style pass, seeded with the
+loss curvature ``d2F/dO^2`` (Eq. 11) and propagated by each layer's
+``backward_second`` (Eqs. 8 and 10).
+
+The functions here orchestrate that pass over a model and return the
+curvature per parameter; they also expose gradient collection with the same
+interface so the two passes can be timed against each other (the paper
+claims the second-derivative pass costs about as much as a gradient pass —
+see ``benchmarks/bench_secondderiv_cost.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.trainer import iterate_batches
+
+__all__ = [
+    "compute_second_derivatives",
+    "compute_gradients",
+    "accumulate_second_derivatives",
+]
+
+
+def compute_second_derivatives(model, x, y, loss=None):
+    """Diagonal second derivatives of the loss w.r.t. every parameter.
+
+    Runs one forward pass, one gradient backward pass, and one curvature
+    backward pass (the gradient pass supplies the first-order term of
+    Eq. 9 needed by smooth activations).
+
+    Parameters
+    ----------
+    model:
+        Any :class:`repro.nn.Module` implementing the three passes.
+    x, y:
+        One evaluation batch.
+    loss:
+        Loss object with ``forward/backward/second`` (default
+        cross-entropy, matching the paper's classifiers).
+
+    Returns
+    -------
+    dict
+        ``parameter name -> curvature array`` (copies).
+    """
+    loss = loss if loss is not None else CrossEntropyLoss()
+    model.zero_grad()
+    model.zero_curvature()
+    loss(model(x), y)
+    model.backward(loss.backward())
+    model.backward_second(loss.second())
+    return {name: p.curvature.copy() for name, p in model.named_parameters()}
+
+
+def compute_gradients(model, x, y, loss=None):
+    """First derivatives with the same interface (for baselines/timing)."""
+    loss = loss if loss is not None else CrossEntropyLoss()
+    model.zero_grad()
+    loss(model(x), y)
+    model.backward(loss.backward())
+    return {name: p.grad.copy() for name, p in model.named_parameters()}
+
+
+def accumulate_second_derivatives(
+    model, x, y, loss=None, batch_size=256, max_batches=None
+):
+    """Average the curvature pass over mini-batches of a dataset.
+
+    The paper computes sensitivities once on the training dataset (Alg. 1
+    line 3).  Averaging over batches keeps memory bounded on large inputs;
+    because each batch's loss carries a ``1/batch`` factor, summing batch
+    curvatures and dividing by the number of batches estimates the
+    full-dataset curvature.
+
+    Returns
+    -------
+    dict
+        ``parameter name -> averaged curvature array``.
+    """
+    loss = loss if loss is not None else CrossEntropyLoss()
+    model.zero_grad()
+    model.zero_curvature()
+    n_batches = 0
+    for xb, yb in iterate_batches(x, y, batch_size):
+        loss(model(xb), yb)
+        model.backward(loss.backward())
+        model.backward_second(loss.second())
+        n_batches += 1
+        if max_batches is not None and n_batches >= max_batches:
+            break
+    if n_batches == 0:
+        raise ValueError("dataset produced no batches")
+    scale = 1.0 / n_batches
+    result = {}
+    for name, p in model.named_parameters():
+        result[name] = p.curvature * scale
+    return result

@@ -1,0 +1,134 @@
+"""Global weight ranking and programming-granularity selection (Alg. 1).
+
+SWIM ranks *all* weights of the network in one global order (sensitivity
+descending, magnitude as tie-breaker) and write-verifies them in groups of
+``p`` — the programming granularity, 5% of the weights in the paper — until
+the accuracy target is met.  :class:`WeightSpace` provides the stable
+flat indexing over a model's mapped tensors that makes "global order"
+well-defined, and the helpers here turn an order into per-tensor boolean
+selection masks consumable by
+:meth:`repro.cim.accelerator.CimAccelerator.apply_selection`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cim.accelerator import weighted_layer_names
+
+__all__ = ["WeightSpace", "rank_descending", "cumulative_groups"]
+
+
+class WeightSpace:
+    """Stable flat indexing over the mapped weight tensors of a model."""
+
+    def __init__(self, names_and_shapes):
+        self._names = [name for name, _ in names_and_shapes]
+        self._shapes = {name: tuple(shape) for name, shape in names_and_shapes}
+        self._offsets = {}
+        offset = 0
+        for name in self._names:
+            size = int(np.prod(self._shapes[name]))
+            self._offsets[name] = (offset, offset + size)
+            offset += size
+        self.total_size = offset
+
+    @classmethod
+    def from_model(cls, model):
+        """Build from a model's weighted layers (traversal order)."""
+        params = dict(model.named_parameters())
+        names = weighted_layer_names(model)
+        return cls([(name, params[name].shape) for name in names])
+
+    @property
+    def names(self):
+        """Tensor names in flat-concatenation order."""
+        return list(self._names)
+
+    def shape_of(self, name):
+        """Shape of one tensor."""
+        return self._shapes[name]
+
+    def flatten(self, tensors):
+        """Concatenate ``name -> array`` into one flat vector."""
+        parts = []
+        for name in self._names:
+            arr = np.asarray(tensors[name])
+            if arr.shape != self._shapes[name]:
+                raise ValueError(
+                    f"{name}: shape {arr.shape} != expected {self._shapes[name]}"
+                )
+            parts.append(arr.reshape(-1))
+        return np.concatenate(parts) if parts else np.empty(0)
+
+    def unflatten(self, flat):
+        """Split a flat vector back into ``name -> array``."""
+        flat = np.asarray(flat)
+        if flat.shape != (self.total_size,):
+            raise ValueError(
+                f"flat vector has shape {flat.shape}, expected ({self.total_size},)"
+            )
+        out = {}
+        for name in self._names:
+            start, stop = self._offsets[name]
+            out[name] = flat[start:stop].reshape(self._shapes[name])
+        return out
+
+    def masks_from_indices(self, indices):
+        """Boolean per-tensor masks selecting the given flat indices."""
+        flat = np.zeros(self.total_size, dtype=bool)
+        flat[np.asarray(indices, dtype=np.int64)] = True
+        return self.unflatten(flat)
+
+    def gather_from_model(self, model, attribute="data"):
+        """Flatten a parameter attribute (data/grad/curvature) of the model."""
+        params = dict(model.named_parameters())
+        tensors = {
+            name: getattr(params[name], attribute) for name in self._names
+        }
+        return self.flatten(tensors)
+
+
+def rank_descending(scores, tie_break=None):
+    """Indices sorted by score descending; ties broken by ``tie_break`` desc.
+
+    Implements the paper's Sec. 3.2 rule: "when two weights have the same
+    second derivative, we use their magnitudes as the tie-breaker: the
+    larger one will have a higher priority."
+    """
+    scores = np.asarray(scores)
+    if tie_break is None:
+        return np.argsort(-scores, kind="stable")
+    tie_break = np.asarray(tie_break)
+    if tie_break.shape != scores.shape:
+        raise ValueError("tie_break must match scores shape")
+    # np.lexsort sorts by the last key as primary.
+    return np.lexsort((-tie_break, -scores))
+
+
+def cumulative_groups(order, granularity, total=None):
+    """Yield cumulative index prefixes in steps of ``granularity``.
+
+    Parameters
+    ----------
+    order:
+        Flat weight indices, highest priority first.
+    granularity:
+        Group size as a fraction of ``total`` (paper: 0.05).
+    total:
+        Denominator for the fraction (defaults to ``len(order)``).
+
+    Yields
+    ------
+    numpy.ndarray
+        ``order[:k]`` for k = p, 2p, ... (final group may be smaller).
+    """
+    order = np.asarray(order)
+    total = int(total) if total is not None else order.size
+    if not 0 < granularity <= 1:
+        raise ValueError("granularity must be in (0, 1]")
+    step = max(int(round(granularity * total)), 1)
+    for stop in range(step, order.size + step, step):
+        yield order[: min(stop, order.size)]
+        if stop >= order.size:
+            break

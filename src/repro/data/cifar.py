@@ -1,0 +1,116 @@
+"""SyntheticCIFAR: a procedural stand-in for CIFAR-10 (3x32x32, 10 classes).
+
+Each class is a *recipe*: a foreground shape, a color palette, and a
+background texture orientation/frequency.  Recipes overlap deliberately
+(shapes are shared between some classes, palettes between others) so the
+task needs a convolutional feature hierarchy rather than a single cue —
+giving the paper's ConvNet and ResNet-18 something non-trivial to learn,
+while remaining learnable to high accuracy in a few epochs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import DataSplit, normalize_images
+from repro.data.procedural import (
+    add_pixel_noise,
+    affine_jitter,
+    gabor_texture,
+    gaussian_blur,
+    shape_mask,
+)
+
+__all__ = ["synthetic_cifar", "render_class_sample", "class_recipes"]
+
+_PALETTES = {
+    "red": (0.8, 0.2, 0.2),
+    "green": (0.2, 0.7, 0.3),
+    "blue": (0.2, 0.3, 0.8),
+    "yellow": (0.8, 0.75, 0.2),
+    "magenta": (0.75, 0.25, 0.7),
+    "cyan": (0.25, 0.7, 0.75),
+}
+
+
+def class_recipes(num_classes=10):
+    """The (shape, palette, texture) recipe for each class label.
+
+    Recipes are constructed so that no single attribute identifies a class:
+    consecutive classes share shapes, and palettes repeat with different
+    textures.
+    """
+    shapes = ("circle", "square", "triangle", "cross", "ring")
+    palettes = list(_PALETTES)
+    recipes = []
+    for label in range(num_classes):
+        recipes.append(
+            {
+                "shape": shapes[label % len(shapes)],
+                "palette": palettes[(label // 2) % len(palettes)],
+                "texture_theta": (label % 4) * np.pi / 4.0,
+                "texture_freq": 0.08 + 0.04 * (label % 3),
+            }
+        )
+    return recipes
+
+
+def render_class_sample(recipe, rng, size=32):
+    """Render one sample of a class recipe; returns (3, size, size) in [0,1]."""
+    gen = rng.generator
+    base_color = np.array(_PALETTES[recipe["palette"]])
+    # Background: oriented texture with per-sample phase, dimmed.
+    texture = gabor_texture(
+        size,
+        frequency=recipe["texture_freq"] * gen.uniform(0.85, 1.15),
+        theta=recipe["texture_theta"] + gen.uniform(-0.2, 0.2),
+        phase=gen.uniform(0, 2 * np.pi),
+    )
+    background = np.stack([texture * 0.35 + 0.15] * 3)
+    background *= gen.uniform(0.8, 1.2, size=(3, 1, 1))
+
+    # Foreground shape with jittered geometry and palette color.
+    cx = size / 2 + gen.uniform(-size / 6, size / 6)
+    cy = size / 2 + gen.uniform(-size / 6, size / 6)
+    radius = size * gen.uniform(0.2, 0.32)
+    angle = gen.uniform(0, 2 * np.pi)
+    mask = shape_mask(recipe["shape"], size, cx, cy, radius, angle)
+    color = np.clip(base_color + gen.uniform(-0.1, 0.1, size=3), 0.0, 1.0)
+
+    image = background.copy()
+    for channel in range(3):
+        image[channel][mask] = color[channel] * gen.uniform(0.85, 1.0)
+
+    image = affine_jitter(
+        image, gen, max_rotate=0.1, max_shift=1.5, scale_range=(0.95, 1.05)
+    )
+    image = gaussian_blur(image, gen.uniform(0.2, 0.5))
+    image = add_pixel_noise(image, gen, sigma=0.06)
+    return image
+
+
+def synthetic_cifar(n_train=4000, n_test=1000, rng=None, size=32, num_classes=10):
+    """Generate the SyntheticCIFAR train/test split (see module docstring)."""
+    if rng is None:
+        raise ValueError("synthetic_cifar requires an RngStream")
+    recipes = class_recipes(num_classes)
+
+    def make(count, stream_name):
+        labels = np.arange(count) % num_classes
+        images = np.empty((count, 3, size, size), dtype=np.float64)
+        for i, label in enumerate(labels):
+            sample_rng = rng.child(stream_name, i)
+            images[i] = render_class_sample(recipes[int(label)], sample_rng, size=size)
+        order = rng.child(stream_name, "shuffle").permutation(count)
+        return normalize_images(images[order]), labels[order].astype(np.int64)
+
+    train_x, train_y = make(n_train, "train")
+    test_x, test_y = make(n_test, "test")
+    return DataSplit(
+        train_x=train_x,
+        train_y=train_y,
+        test_x=test_x,
+        test_y=test_y,
+        num_classes=num_classes,
+        name="synthetic-cifar",
+    )

@@ -1,0 +1,73 @@
+"""Dataset containers shared by all synthetic generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DataSplit", "normalize_images", "subsample"]
+
+
+@dataclass(frozen=True)
+class DataSplit:
+    """Train/test arrays plus task metadata.
+
+    Attributes
+    ----------
+    train_x, train_y, test_x, test_y:
+        NCHW float32 images and int64 labels.
+    num_classes:
+        Number of classes.
+    name:
+        Human-readable dataset name.
+    """
+
+    train_x: np.ndarray
+    train_y: np.ndarray
+    test_x: np.ndarray
+    test_y: np.ndarray
+    num_classes: int
+    name: str
+
+    @property
+    def image_shape(self):
+        """Per-sample (C, H, W) shape."""
+        return self.train_x.shape[1:]
+
+    def __repr__(self):
+        return (
+            f"DataSplit({self.name}, train={self.train_x.shape[0]}, "
+            f"test={self.test_x.shape[0]}, classes={self.num_classes}, "
+            f"image={self.image_shape})"
+        )
+
+
+def normalize_images(images):
+    """Map [0, 1] images to zero-centred float32 in [-1, 1]."""
+    return ((np.asarray(images) - 0.5) / 0.5).astype(np.float32)
+
+
+def subsample(split, n_train=None, n_test=None, rng=None):
+    """Return a smaller :class:`DataSplit` (stratified-ish by shuffling).
+
+    Useful for smoke-scale experiments and the accuracy-evaluation batches
+    of Algorithm 1, which the paper runs on (a subset of) training data.
+    """
+    train_idx = np.arange(split.train_x.shape[0])
+    test_idx = np.arange(split.test_x.shape[0])
+    if rng is not None:
+        train_idx = rng.permutation(train_idx)
+        test_idx = rng.permutation(test_idx)
+    if n_train is not None:
+        train_idx = train_idx[:n_train]
+    if n_test is not None:
+        test_idx = test_idx[:n_test]
+    return DataSplit(
+        train_x=split.train_x[train_idx],
+        train_y=split.train_y[train_idx],
+        test_x=split.test_x[test_idx],
+        test_y=split.test_y[test_idx],
+        num_classes=split.num_classes,
+        name=split.name,
+    )

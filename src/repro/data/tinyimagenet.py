@@ -1,0 +1,115 @@
+"""SyntheticTinyImageNet: a harder stand-in for Tiny ImageNet.
+
+Tiny ImageNet's role in the paper (Fig. 2c) is "a more challenging task
+than CIFAR-10" on the same ResNet-18: lower clean accuracy and larger
+degradation under device variation.  This generator preserves those
+properties by (a) using more classes, (b) composing *two* shapes per image
+with partial occlusion, (c) widening the intra-class jitter, and (d) using
+64x64 images like the original.
+
+Class count defaults to 20 (not 200) so CPU-scale experiments remain
+tractable; the class-recipe family extends to 200 if requested.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import DataSplit, normalize_images
+from repro.data.procedural import (
+    SHAPES,
+    add_pixel_noise,
+    affine_jitter,
+    gabor_texture,
+    gaussian_blur,
+    shape_mask,
+)
+
+__all__ = ["synthetic_tiny_imagenet", "tiny_class_recipes"]
+
+_BASE_COLORS = [
+    (0.85, 0.3, 0.25),
+    (0.25, 0.75, 0.35),
+    (0.25, 0.35, 0.85),
+    (0.85, 0.8, 0.3),
+    (0.7, 0.3, 0.75),
+]
+
+
+def tiny_class_recipes(num_classes=20):
+    """Recipe per class: primary/secondary shape, color pair, texture."""
+    recipes = []
+    for label in range(num_classes):
+        primary = SHAPES[label % len(SHAPES)]
+        secondary = SHAPES[(label // len(SHAPES) + 1 + label) % len(SHAPES)]
+        recipes.append(
+            {
+                "primary": primary,
+                "secondary": secondary,
+                "color_a": _BASE_COLORS[label % len(_BASE_COLORS)],
+                "color_b": _BASE_COLORS[(label + 2) % len(_BASE_COLORS)],
+                "texture_theta": (label % 6) * np.pi / 6.0,
+                "texture_freq": 0.05 + 0.03 * (label % 4),
+            }
+        )
+    return recipes
+
+
+def _render(recipe, rng, size):
+    gen = rng.generator
+    texture = gabor_texture(
+        size,
+        frequency=recipe["texture_freq"] * gen.uniform(0.8, 1.2),
+        theta=recipe["texture_theta"] + gen.uniform(-0.3, 0.3),
+        phase=gen.uniform(0, 2 * np.pi),
+    )
+    image = np.stack([texture * 0.3 + 0.1] * 3)
+    image *= gen.uniform(0.7, 1.3, size=(3, 1, 1))
+
+    # Two shapes, the secondary partially occluding the primary.
+    for kind, color, spread in (
+        (recipe["primary"], recipe["color_a"], 0.30),
+        (recipe["secondary"], recipe["color_b"], 0.18),
+    ):
+        cx = size / 2 + gen.uniform(-size / 4, size / 4)
+        cy = size / 2 + gen.uniform(-size / 4, size / 4)
+        radius = size * gen.uniform(spread * 0.7, spread)
+        angle = gen.uniform(0, 2 * np.pi)
+        mask = shape_mask(kind, size, cx, cy, radius, angle)
+        tint = np.clip(np.array(color) + gen.uniform(-0.15, 0.15, size=3), 0, 1)
+        for channel in range(3):
+            image[channel][mask] = tint[channel] * gen.uniform(0.8, 1.0)
+
+    image = affine_jitter(
+        image, gen, max_rotate=0.25, max_shift=3.0, scale_range=(0.85, 1.15)
+    )
+    image = gaussian_blur(image, gen.uniform(0.3, 0.8))
+    image = add_pixel_noise(image, gen, sigma=0.09)
+    return image
+
+
+def synthetic_tiny_imagenet(n_train=4000, n_test=1000, rng=None, size=64, num_classes=20):
+    """Generate the SyntheticTinyImageNet train/test split."""
+    if rng is None:
+        raise ValueError("synthetic_tiny_imagenet requires an RngStream")
+    recipes = tiny_class_recipes(num_classes)
+
+    def make(count, stream_name):
+        labels = np.arange(count) % num_classes
+        images = np.empty((count, 3, size, size), dtype=np.float64)
+        for i, label in enumerate(labels):
+            sample_rng = rng.child(stream_name, i)
+            images[i] = _render(recipes[int(label)], sample_rng, size)
+        order = rng.child(stream_name, "shuffle").permutation(count)
+        return normalize_images(images[order]), labels[order].astype(np.int64)
+
+    train_x, train_y = make(n_train, "train")
+    test_x, test_y = make(n_test, "test")
+    return DataSplit(
+        train_x=train_x,
+        train_y=train_y,
+        test_x=test_x,
+        test_y=test_y,
+        num_classes=num_classes,
+        name="synthetic-tiny-imagenet",
+    )

@@ -1,0 +1,43 @@
+"""Experiment drivers regenerating every table and figure of the paper."""
+
+from repro.experiments.config import SCALES, ScalePreset, WorkloadSpec, get_scale
+from repro.experiments.fig1 import Fig1Config, Fig1Result, run_fig1
+from repro.experiments.fig2 import FIG2_WORKLOADS, render_fig2_panel, run_fig2_panel
+from repro.experiments.model_zoo import ZooModel, build_data, build_model, load_workload
+from repro.experiments.sweeps import (
+    MethodCurve,
+    SweepOutcome,
+    WRITE_VERIFY_METHODS,
+    run_method_sweep,
+)
+from repro.experiments.table1 import (
+    TABLE1_SIGMAS,
+    Table1Result,
+    render_table1,
+    run_table1,
+)
+
+__all__ = [
+    "FIG2_WORKLOADS",
+    "Fig1Config",
+    "Fig1Result",
+    "MethodCurve",
+    "SCALES",
+    "ScalePreset",
+    "SweepOutcome",
+    "TABLE1_SIGMAS",
+    "Table1Result",
+    "WRITE_VERIFY_METHODS",
+    "WorkloadSpec",
+    "ZooModel",
+    "build_data",
+    "build_model",
+    "get_scale",
+    "load_workload",
+    "render_fig2_panel",
+    "render_table1",
+    "run_fig1",
+    "run_fig2_panel",
+    "run_method_sweep",
+    "run_table1",
+]

@@ -1,0 +1,80 @@
+"""Figure 2 reproduction: accuracy vs NWC on the three large workloads.
+
+Fig. 2a ConvNet/CIFAR-10, Fig. 2b ResNet-18/CIFAR-10, Fig. 2c ResNet-18/
+Tiny-ImageNet — all at sigma = 0.1, weights/activations quantized to
+6 bits, methods {SWIM, Magnitude, Random, In-situ}.  Rendered as ASCII
+line plots (mean accuracy) plus a mean +/- std table.
+"""
+
+from __future__ import annotations
+
+from repro.core.metrics import DEFAULT_NWC_TARGETS
+from repro.experiments.model_zoo import load_workload
+from repro.experiments.sweeps import run_method_sweep
+from repro.utils.ascii_plot import line_plot
+from repro.utils.rng import RngStream
+from repro.utils.tables import Table
+
+__all__ = ["FIG2_WORKLOADS", "run_fig2_panel", "render_fig2_panel"]
+
+#: Panel id -> workload key, matching the paper's subfigures.
+FIG2_WORKLOADS = {
+    "a": "convnet-cifar",
+    "b": "resnet18-cifar",
+    "c": "resnet18-tiny",
+}
+
+
+def run_fig2_panel(scale, panel, nwc_targets=DEFAULT_NWC_TARGETS,
+                   methods=("swim", "magnitude", "random", "insitu"),
+                   sigma=0.1, seed=2, use_cache=True):
+    """Run one Fig. 2 panel (``panel`` in {"a", "b", "c"}).
+
+    Returns
+    -------
+    repro.experiments.sweeps.SweepOutcome
+    """
+    if panel not in FIG2_WORKLOADS:
+        raise KeyError(f"panel must be one of {sorted(FIG2_WORKLOADS)}")
+    zoo = load_workload(scale.workload(FIG2_WORKLOADS[panel]),
+                        use_cache=use_cache)
+    root = RngStream(seed).child("fig2", panel)
+    return run_method_sweep(
+        zoo,
+        sigma=sigma,
+        nwc_targets=nwc_targets,
+        mc_runs=scale.mc_runs_fig2,
+        rng=root,
+        eval_samples=scale.eval_samples,
+        sense_samples=scale.sense_samples,
+        methods=methods,
+        insitu_lr=scale.insitu_lr,
+    )
+
+
+def render_fig2_panel(outcome, panel):
+    """ASCII figure + stats table for one panel's SweepOutcome."""
+    series = {
+        method: (curve.achieved_nwc, 100.0 * curve.means())
+        for method, curve in outcome.curves.items()
+    }
+    plot = line_plot(
+        series,
+        title=(
+            f"Fig. 2{panel} — {outcome.workload} (sigma={outcome.sigma:g}, "
+            f"clean {100 * outcome.clean_accuracy:.2f}%)"
+        ),
+        xlabel="Normalized Write Cycles",
+        ylabel="accuracy %",
+    )
+    table = Table(
+        ["Method"] + [f"NWC={t:g}" for t in outcome.nwc_targets],
+        title=f"Fig. 2{panel} data (accuracy % mean ± std)",
+    )
+    for method, curve in outcome.curves.items():
+        cells = [method]
+        for i in range(len(outcome.nwc_targets)):
+            stat = curve.mean_std(i)
+            cells.append(f"{100 * stat.mean:.2f} ± {100 * stat.std:.2f}")
+        table.add_row(cells)
+    return plot + "\n\n" + table.render()

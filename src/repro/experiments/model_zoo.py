@@ -1,0 +1,146 @@
+"""Deterministic train-or-load of the paper's workload models.
+
+Models are trained with quantization-aware training (STE weight fake-quant
+plus ActQuant activation quantization, per the paper's Sec. 4.2) and cached
+on disk keyed by the full workload specification, so repeated benchmark
+invocations skip training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data import synthetic_cifar, synthetic_digits, synthetic_tiny_imagenet
+from repro.nn import (
+    SGD,
+    TrainConfig,
+    Trainer,
+    cosine_schedule,
+    evaluate_accuracy,
+)
+from repro.nn.models import convnet, lenet, resnet18
+from repro.utils.cache import ArtifactCache
+from repro.utils.rng import RngStream
+from repro.utils.serialization import load_state_dict, save_state_dict
+
+__all__ = ["ZooModel", "load_workload", "build_model", "build_data"]
+
+
+@dataclass
+class ZooModel:
+    """A trained workload ready for mapping experiments.
+
+    Attributes
+    ----------
+    model:
+        The trained network, in eval mode, QAT weight quantizers attached.
+    data:
+        The :class:`~repro.data.DataSplit` it was trained on.
+    clean_accuracy:
+        Test accuracy with (fake-)quantized weights, no device noise —
+        the paper's "accuracy without the impact of device variation".
+    spec:
+        The :class:`~repro.experiments.config.WorkloadSpec`.
+    """
+
+    model: object
+    data: object
+    clean_accuracy: float
+    spec: object
+
+
+def build_data(spec, rng):
+    """Generate the dataset for a workload spec."""
+    if spec.dataset == "digits":
+        return synthetic_digits(
+            n_train=spec.n_train, n_test=spec.n_test, rng=rng,
+            size=spec.image_size,
+        )
+    if spec.dataset == "cifar":
+        return synthetic_cifar(
+            n_train=spec.n_train, n_test=spec.n_test, rng=rng,
+            size=spec.image_size, num_classes=spec.num_classes,
+        )
+    if spec.dataset == "tiny":
+        return synthetic_tiny_imagenet(
+            n_train=spec.n_train, n_test=spec.n_test, rng=rng,
+            size=spec.image_size, num_classes=spec.num_classes,
+        )
+    raise KeyError(f"unknown dataset {spec.dataset!r}")
+
+
+def build_model(spec, rng):
+    """Construct the (untrained) network for a workload spec."""
+    if spec.arch == "lenet":
+        return lenet(
+            rng, num_classes=spec.num_classes, act_bits=spec.act_bits,
+            image_size=spec.image_size,
+        )
+    if spec.arch == "convnet":
+        return convnet(
+            rng, num_classes=spec.num_classes, width_mult=spec.width_mult,
+            image_size=spec.image_size, act_bits=spec.act_bits,
+        )
+    if spec.arch == "resnet18":
+        return resnet18(
+            rng, num_classes=spec.num_classes, width_mult=spec.width_mult,
+            act_bits=spec.act_bits,
+        )
+    raise KeyError(f"unknown arch {spec.arch!r}")
+
+
+def load_workload(spec, use_cache=True, log=False):
+    """Train (or load from cache) the model for a workload spec.
+
+    Deterministic: the spec's seed drives data generation, weight init,
+    and batch shuffling, so cache hits and fresh training produce the
+    same artifact.
+
+    Returns
+    -------
+    ZooModel
+    """
+    root = RngStream(spec.seed).child("zoo", spec.key)
+    data = build_data(spec, root.child("data"))
+    model = build_model(spec, root.child("model"))
+
+    cache = ArtifactCache(namespace="model-zoo")
+    cache_cfg = spec.cache_config()
+    path = cache.path_for(cache_cfg)
+
+    if use_cache and cache.has(cache_cfg):
+        state, meta = load_state_dict(path)
+        model.load_state_dict(state)
+        # QAT quantizers are not part of the state dict; re-attach.
+        from repro.nn.quant import attach_weight_quantizers
+
+        attach_weight_quantizers(model, spec.weight_bits)
+        model.eval()
+        return ZooModel(
+            model=model, data=data,
+            clean_accuracy=float(meta["clean_accuracy"]), spec=spec,
+        )
+
+    optimizer = SGD(model.parameters(), lr=spec.lr, momentum=0.9,
+                    weight_decay=1e-4)
+    trainer = Trainer(
+        optimizer,
+        schedule=cosine_schedule(spec.lr, spec.epochs),
+        rng=root.child("train"),
+    )
+    trainer.fit(
+        model, data.train_x, data.train_y,
+        config=TrainConfig(
+            epochs=spec.epochs, batch_size=spec.batch_size,
+            weight_bits=spec.weight_bits,
+            log_every=1 if log else 0,
+        ),
+    )
+    model.eval()
+    clean_accuracy = evaluate_accuracy(model, data.test_x, data.test_y)
+    if use_cache:
+        save_state_dict(path, model.state_dict(),
+                        meta={"clean_accuracy": clean_accuracy,
+                              "spec": cache_cfg})
+    return ZooModel(model=model, data=data, clean_accuracy=clean_accuracy,
+                    spec=spec)

@@ -1,0 +1,124 @@
+"""Command-line entry point: regenerate any table/figure of the paper.
+
+Usage::
+
+    python -m repro.experiments.runner table1 --scale smoke
+    python -m repro.experiments.runner fig1
+    python -m repro.experiments.runner fig2a fig2b fig2c
+    python -m repro.experiments.runner ablations
+    python -m repro.experiments.runner all --scale default
+
+Results print to stdout in the paper's layout and are saved as CSV under
+``results/`` (override with ``REPRO_RESULTS_DIR``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from repro.experiments import ablations as ablation_mod
+from repro.experiments.config import get_scale
+from repro.experiments.fig1 import Fig1Config, run_fig1
+from repro.experiments.fig2 import FIG2_WORKLOADS, render_fig2_panel, run_fig2_panel
+from repro.experiments.model_zoo import load_workload
+from repro.experiments.reporting import (
+    render_ablation,
+    render_fig1,
+    results_dir,
+    save_fig1_csv,
+    save_sweep_csv,
+)
+from repro.experiments.table1 import render_table1, run_table1
+from repro.utils.rng import RngStream
+
+EXPERIMENTS = ("fig1", "table1", "fig2a", "fig2b", "fig2c", "ablations")
+
+
+def _run_fig1(scale, out_dir):
+    zoo = load_workload(scale.workload("lenet-digits"))
+    config = Fig1Config(
+        n_weights=scale.fig1_weights,
+        mc_runs=scale.fig1_mc_runs,
+        eval_samples=scale.fig1_eval_samples,
+    )
+    result = run_fig1(zoo, config, RngStream(101).child("fig1"))
+    print(render_fig1(result, workload=zoo.spec.key))
+    path = save_fig1_csv(result, os.path.join(out_dir, "fig1.csv"))
+    print(f"[saved {path}]")
+
+
+def _run_table1(scale, out_dir):
+    result = run_table1(scale)
+    print(render_table1(result))
+    for sigma, outcome in result.outcomes.items():
+        path = save_sweep_csv(
+            outcome, os.path.join(out_dir, f"table1_sigma{sigma:g}.csv")
+        )
+        print(f"[saved {path}]")
+
+
+def _run_fig2(scale, out_dir, panel):
+    outcome = run_fig2_panel(scale, panel)
+    print(render_fig2_panel(outcome, panel))
+    path = save_sweep_csv(outcome, os.path.join(out_dir, f"fig2{panel}.csv"))
+    print(f"[saved {path}]")
+
+
+def _run_ablations(scale, out_dir):
+    zoo = load_workload(scale.workload("lenet-digits"))
+    rng = RngStream(404).child("ablations")
+    studies = (
+        ("granularity", ablation_mod.ablate_granularity),
+        ("device_bits", ablation_mod.ablate_device_bits),
+        ("tie_break", ablation_mod.ablate_tie_break),
+        ("curvature_batches", ablation_mod.ablate_curvature_batches),
+        ("scorers", ablation_mod.ablate_scorers),
+        ("differential", ablation_mod.ablate_differential),
+    )
+    for name, fn in studies:
+        rows = fn(zoo, rng.child(name))
+        print(render_ablation(rows, title=f"Ablation — {name}"))
+        print()
+
+
+def main(argv=None):
+    """CLI entry point (also exposed as the ``repro-experiments`` script)."""
+    parser = argparse.ArgumentParser(
+        description="Regenerate the SWIM paper's tables and figures."
+    )
+    parser.add_argument(
+        "experiments", nargs="+",
+        choices=EXPERIMENTS + ("all",),
+        help="which experiment(s) to run",
+    )
+    parser.add_argument("--scale", default=None,
+                        help="smoke | default | full (or REPRO_SCALE)")
+    parser.add_argument("--output-dir", default=None,
+                        help="directory for CSV artifacts")
+    args = parser.parse_args(argv)
+
+    scale = get_scale(args.scale)
+    out_dir = results_dir(args.output_dir)
+    todo = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+
+    print(f"# scale preset: {scale.name}")
+    for name in todo:
+        start = time.time()
+        print(f"\n=== {name} ===")
+        if name == "fig1":
+            _run_fig1(scale, out_dir)
+        elif name == "table1":
+            _run_table1(scale, out_dir)
+        elif name.startswith("fig2"):
+            _run_fig2(scale, out_dir, name[-1])
+        elif name == "ablations":
+            _run_ablations(scale, out_dir)
+        print(f"[{name} took {time.time() - start:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,236 @@
+"""Shared accuracy-vs-NWC sweep machinery for Table 1 and Figure 2.
+
+One Monte Carlo run programs the devices once and evaluates *every*
+(method, NWC-target) pair against that same noise draw — a paired design
+that reduces the variance of method comparisons, exactly what matters for
+the paper's "who wins at fixed NWC" claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cim import CimAccelerator, DeviceConfig, MappingConfig
+from repro.core import (
+    InSituConfig,
+    InSituTrainer,
+    MagnitudeScorer,
+    RandomScorer,
+    SwimScorer,
+    WeightSpace,
+    evaluate_accuracy,
+)
+from repro.utils.stats import summarize
+
+__all__ = ["MethodCurve", "SweepOutcome", "run_method_sweep", "WRITE_VERIFY_METHODS"]
+
+WRITE_VERIFY_METHODS = ("swim", "magnitude", "random")
+
+
+@dataclass
+class MethodCurve:
+    """Accuracy-vs-NWC samples for one method.
+
+    ``accuracy_runs`` has shape ``(mc_runs, n_targets)``; ``achieved_nwc``
+    is averaged over runs (it is nearly deterministic).
+    """
+
+    method: str
+    nwc_targets: tuple
+    accuracy_runs: np.ndarray
+    achieved_nwc: np.ndarray
+
+    def mean_std(self, target_index):
+        """Paper-style mean +/- std at one NWC target."""
+        return summarize(self.accuracy_runs[:, target_index])
+
+    def means(self):
+        """Mean accuracy per target."""
+        return self.accuracy_runs.mean(axis=0)
+
+    def stds(self):
+        """Std of accuracy per target."""
+        return self.accuracy_runs.std(axis=0)
+
+
+@dataclass
+class SweepOutcome:
+    """All method curves for one workload at one device sigma."""
+
+    workload: str
+    sigma: float
+    clean_accuracy: float
+    nwc_targets: tuple
+    curves: dict = field(default_factory=dict)
+
+    def curve(self, method):
+        """Look up one method's curve."""
+        return self.curves[method]
+
+
+def _insitu_row(zoo, accelerator, nwc_targets, run_rng, eval_x, eval_y,
+                insitu_lr, eval_batch_size=256):
+    """Accuracy at each NWC target for one in-situ training run."""
+    trainer = InSituTrainer(
+        zoo.model, accelerator, InSituConfig(lr=insitu_lr)
+    )
+    trainer.initialize(run_rng.child("init"))
+    accuracies = np.empty(len(nwc_targets), dtype=np.float64)
+    achieved = np.empty(len(nwc_targets), dtype=np.float64)
+
+    checkpoint_iters = {}
+    for i, target in enumerate(nwc_targets):
+        iters = trainer.iterations_for_nwc(target)
+        checkpoint_iters[i] = iters
+    positive = sorted({v for v in checkpoint_iters.values() if v > 0})
+
+    # NWC = 0: the freshly programmed, unverified network.
+    baseline = evaluate_accuracy(zoo.model, eval_x, eval_y, eval_batch_size)
+
+    history = None
+    if positive:
+        history = trainer.run(
+            zoo.data.train_x, zoo.data.train_y, positive[-1],
+            run_rng.child("train"),
+            eval_x=eval_x, eval_y=eval_y, eval_at=set(positive),
+            eval_batch_size=eval_batch_size,
+        )
+    recorded = (
+        dict(zip(history.iterations, zip(history.accuracy, history.nwc)))
+        if history is not None
+        else {}
+    )
+    per_iteration = accelerator.num_weights() / accelerator.total_cycles()
+    for i, target in enumerate(nwc_targets):
+        iters = checkpoint_iters[i]
+        if iters == 0:
+            accuracies[i] = baseline
+            achieved[i] = 0.0
+        else:
+            accuracy, nwc = recorded[iters]
+            accuracies[i] = accuracy
+            achieved[i] = nwc if nwc > 0 else iters * per_iteration
+    return accuracies, achieved
+
+
+def run_method_sweep(
+    zoo,
+    sigma,
+    nwc_targets,
+    mc_runs,
+    rng,
+    eval_samples=400,
+    sense_samples=512,
+    methods=("swim", "magnitude", "random", "insitu"),
+    insitu_lr=0.03,
+    device_bits=4,
+    curvature_batches=2,
+):
+    """Run the full paired Monte Carlo sweep for one workload and sigma.
+
+    Parameters
+    ----------
+    zoo:
+        A :class:`~repro.experiments.model_zoo.ZooModel`.
+    sigma:
+        Device programming noise (fraction of full-scale) before verify.
+    nwc_targets:
+        NWC grid, e.g. the paper's ``(0, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0)``.
+    mc_runs:
+        Monte Carlo trials (paper: 3000).
+    rng:
+        Root :class:`~repro.utils.rng.RngStream` for this sweep.
+    eval_samples / sense_samples:
+        Test subset for accuracy, train subset for sensitivity.
+    methods:
+        Subset of {swim, magnitude, random, insitu}.
+    insitu_lr:
+        On-chip learning rate of the in-situ baseline.
+    device_bits:
+        K (paper: 4).
+    curvature_batches:
+        Batches accumulated in SWIM's curvature pass.
+
+    Returns
+    -------
+    SweepOutcome
+    """
+    model, data, spec = zoo.model, zoo.data, zoo.spec
+    mapping = MappingConfig(
+        weight_bits=spec.weight_bits,
+        device=DeviceConfig(bits=device_bits, sigma=sigma),
+    )
+    accelerator = CimAccelerator(model, mapping_config=mapping)
+    space = WeightSpace.from_model(model)
+
+    eval_x = data.test_x[:eval_samples]
+    eval_y = data.test_y[:eval_samples]
+    sense_x = data.train_x[:sense_samples]
+    sense_y = data.train_y[:sense_samples]
+
+    # Deterministic rankings are computed once (they do not depend on the
+    # noise draw); random gets a fresh permutation per run.
+    accelerator.clear()
+    orders = {}
+    if "swim" in methods:
+        orders["swim"] = SwimScorer(
+            batch_size=min(256, sense_samples), max_batches=curvature_batches
+        ).ranking(model, space, sense_x, sense_y)
+    if "magnitude" in methods:
+        orders["magnitude"] = MagnitudeScorer().ranking(
+            model, space, sense_x, sense_y
+        )
+
+    n_targets = len(nwc_targets)
+    acc_store = {m: np.empty((mc_runs, n_targets)) for m in methods}
+    nwc_store = {m: np.zeros((mc_runs, n_targets)) for m in methods}
+
+    counts = [int(round(t * space.total_size)) for t in nwc_targets]
+
+    for run in range(mc_runs):
+        run_rng = rng.child("mc", run)
+        accelerator.program(run_rng.child("program").generator)
+        accelerator.write_verify_all(run_rng.child("verify").generator)
+
+        run_orders = dict(orders)
+        if "random" in methods:
+            run_orders["random"] = RandomScorer().ranking(
+                model, space, None, None, rng=run_rng.child("random-order")
+            )
+
+        for method in methods:
+            if method == "insitu":
+                continue
+            order = run_orders[method]
+            for i, count in enumerate(counts):
+                masks = space.masks_from_indices(order[:count])
+                nwc_store[method][run, i] = accelerator.apply_selection(masks)
+                acc_store[method][run, i] = evaluate_accuracy(
+                    model, eval_x, eval_y
+                )
+
+        if "insitu" in methods:
+            accuracies, achieved = _insitu_row(
+                zoo, accelerator, nwc_targets, run_rng.child("insitu"),
+                eval_x, eval_y, insitu_lr,
+            )
+            acc_store["insitu"][run] = accuracies
+            nwc_store["insitu"][run] = achieved
+
+    accelerator.clear()
+    outcome = SweepOutcome(
+        workload=spec.key,
+        sigma=sigma,
+        clean_accuracy=zoo.clean_accuracy,
+        nwc_targets=tuple(nwc_targets),
+    )
+    for method in methods:
+        outcome.curves[method] = MethodCurve(
+            method=method,
+            nwc_targets=tuple(nwc_targets),
+            accuracy_runs=acc_store[method],
+            achieved_nwc=nwc_store[method].mean(axis=0),
+        )
+    return outcome

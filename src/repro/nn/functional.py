@@ -1,0 +1,142 @@
+"""Array-level building blocks: im2col/col2im, softmax, one-hot.
+
+``im2col`` turns convolution into one big matrix multiply, which is both the
+fastest way to run convolutions in NumPy and — more importantly here — makes
+the paper's observation that "convolution layers can be cast in the same
+form as FC layers" (Sec. 3.3) literal in the code: the gradient uses the
+column matrix, and the diagonal-curvature pass uses the *squared* column
+matrix, exactly as Eq. 8 does for fully connected layers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "pad2d",
+    "unpad2d",
+    "im2col",
+    "col2im",
+    "conv_output_size",
+    "softmax",
+    "log_softmax",
+    "one_hot",
+]
+
+
+def conv_output_size(size, kernel, stride, padding):
+    """Spatial output size of a convolution/pooling along one axis."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"non-positive output size for input={size}, kernel={kernel}, "
+            f"stride={stride}, padding={padding}"
+        )
+    return out
+
+
+def pad2d(x, padding):
+    """Zero-pad NCHW input spatially by ``padding`` on each side."""
+    if padding == 0:
+        return x
+    return np.pad(
+        x,
+        ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+        mode="constant",
+    )
+
+
+def unpad2d(x, padding):
+    """Inverse of :func:`pad2d`."""
+    if padding == 0:
+        return x
+    return x[:, :, padding:-padding, padding:-padding]
+
+
+def _window_indices(channels, height, width, kernel, stride):
+    """Row/col gather indices for im2col on a padded (C, H, W) volume."""
+    kh, kw = kernel
+    out_h = (height - kh) // stride + 1
+    out_w = (width - kw) // stride + 1
+
+    # Index arrays of shape (C*kh*kw, out_h*out_w).
+    c_idx = np.repeat(np.arange(channels), kh * kw).reshape(-1, 1)
+    kh_idx = np.tile(np.repeat(np.arange(kh), kw), channels).reshape(-1, 1)
+    kw_idx = np.tile(np.arange(kw), channels * kh).reshape(-1, 1)
+
+    oh_idx = stride * np.repeat(np.arange(out_h), out_w).reshape(1, -1)
+    ow_idx = stride * np.tile(np.arange(out_w), out_h).reshape(1, -1)
+
+    rows = kh_idx + oh_idx
+    cols = kw_idx + ow_idx
+    return c_idx, rows, cols, out_h, out_w
+
+
+def im2col(x, kernel, stride=1, padding=0):
+    """Unfold NCHW input into a column matrix.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C, H, W)``.
+    kernel:
+        ``(kh, kw)`` window size.
+    stride, padding:
+        Convolution geometry.
+
+    Returns
+    -------
+    tuple
+        ``(cols, out_h, out_w)`` where ``cols`` has shape
+        ``(C*kh*kw, N*out_h*out_w)``; column ``n*out_h*out_w + p`` holds the
+        receptive field of output pixel ``p`` of sample ``n``.
+    """
+    x = pad2d(x, padding)
+    n, c, h, w = x.shape
+    c_idx, rows, cols_idx, out_h, out_w = _window_indices(c, h, w, kernel, stride)
+    patches = x[:, c_idx, rows, cols_idx]  # (N, C*kh*kw, out_h*out_w)
+    cols = patches.transpose(1, 0, 2).reshape(patches.shape[1], -1)
+    return np.ascontiguousarray(cols), out_h, out_w
+
+
+def col2im(cols, x_shape, kernel, stride=1, padding=0):
+    """Fold a column matrix back to NCHW, summing overlapping windows.
+
+    This is the adjoint of :func:`im2col` (not its inverse): each input
+    pixel accumulates contributions from every window that covered it,
+    which is exactly what both the gradient and the diagonal-curvature
+    backward passes require.
+    """
+    n, c, h, w = x_shape
+    hp, wp = h + 2 * padding, w + 2 * padding
+    c_idx, rows, cols_idx, out_h, out_w = _window_indices(c, hp, wp, kernel, stride)
+    patches = cols.reshape(cols.shape[0], n, out_h * out_w).transpose(1, 0, 2)
+    out = np.zeros((n, c, hp, wp), dtype=cols.dtype)
+    # Scatter-add each window position back onto the padded image.
+    np.add.at(out, (slice(None), c_idx, rows, cols_idx), patches)
+    return unpad2d(out, padding)
+
+
+def softmax(logits, axis=-1):
+    """Numerically stable softmax."""
+    shifted = logits - np.max(logits, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def log_softmax(logits, axis=-1):
+    """Numerically stable log-softmax."""
+    shifted = logits - np.max(logits, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+
+
+def one_hot(labels, num_classes, dtype=np.float64):
+    """One-hot encode integer labels of shape (N,) into (N, num_classes)."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.min(initial=0) < 0 or labels.max(initial=0) >= num_classes:
+        raise ValueError("labels out of range")
+    out = np.zeros((labels.size, num_classes), dtype=dtype)
+    out[np.arange(labels.size), labels] = 1
+    return out

@@ -1,0 +1,57 @@
+"""Shared behaviour for layers that own a weight tensor.
+
+Two hooks on :class:`WeightedLayer` make the CiM experiments possible
+without touching the layer math:
+
+``weight_override``
+    When set, the forward/backward passes use this array instead of
+    ``weight.data``.  The CiM accelerator uses it to run inference with the
+    *programmed* (noisy) weights while keeping the ideal weights intact —
+    i.e., it models the device conductances actually burned into the
+    crossbar.
+
+``weight_quantizer``
+    When set, ``weight.data`` is passed through this callable in forward
+    (fake quantization).  Gradients flow straight through to the float
+    weights (straight-through estimator), which is the standard
+    quantization-aware-training recipe the paper follows ([4]).
+
+The override takes precedence over the quantizer: programmed conductances
+are already quantized by construction.
+"""
+
+from __future__ import annotations
+
+from repro.nn.module import Module
+
+__all__ = ["WeightedLayer"]
+
+
+class WeightedLayer(Module):
+    """Base class for Linear/Conv2d: weight override + fake quantization."""
+
+    def __init__(self):
+        super().__init__()
+        self.weight_override = None
+        self.weight_quantizer = None
+
+    def effective_weight(self):
+        """The weight array the forward pass should use."""
+        if self.weight_override is not None:
+            return self.weight_override
+        if self.weight_quantizer is not None:
+            return self.weight_quantizer(self.weight.data)
+        return self.weight.data
+
+    def set_weight_override(self, values):
+        """Run subsequent passes with ``values`` in place of the weights."""
+        if values is not None and values.shape != self.weight.data.shape:
+            raise ValueError(
+                f"override shape {values.shape} != weight shape "
+                f"{self.weight.data.shape}"
+            )
+        self.weight_override = values
+
+    def clear_weight_override(self):
+        """Restore the ideal weights."""
+        self.weight_override = None

@@ -1,0 +1,149 @@
+"""2-D convolution via im2col, with gradient and curvature passes.
+
+The paper notes (Sec. 3.3) that convolution "can be cast in the same form
+as FC layers" for the second-derivative recursion.  im2col makes this
+literal: with ``cols`` the unfolded input patches and ``W`` the flattened
+filter bank, the forward pass is ``O = W @ cols``.  The backward passes are
+then the Linear-layer rules applied to the column matrix, with ``col2im``
+scatter-adding per-patch input derivatives back to pixels:
+
+- weight gradient:   ``dW = dO @ cols.T``
+- weight curvature:  ``hW = hO @ (cols^2).T``          (Eq. 8)
+- input gradient:    ``col2im(W.T @ dO)``              (Eq. 13)
+- input curvature:   ``col2im((W^2).T @ hO)``          (Eq. 10)
+
+A weight is shared across all spatial positions, so both its gradient and
+its curvature sum over positions — the curvature sum matching the paper's
+one-weight-at-a-time independence approximation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.layers.base import WeightedLayer
+from repro.nn.parameter import Parameter
+
+__all__ = ["Conv2d"]
+
+
+def _pair(value):
+    if isinstance(value, (tuple, list)):
+        a, b = value
+        return int(a), int(b)
+    return int(value), int(value)
+
+
+class Conv2d(WeightedLayer):
+    """Convolution over NCHW inputs (no dilation/groups; stride + padding)."""
+
+    def __init__(
+        self,
+        in_channels,
+        out_channels,
+        kernel_size,
+        stride=1,
+        padding=0,
+        bias=True,
+        rng=None,
+        dtype=np.float32,
+    ):
+        super().__init__()
+        if rng is None:
+            raise ValueError("Conv2d requires an RngStream for initialization")
+        self.in_channels = int(in_channels)
+        self.out_channels = int(out_channels)
+        self.kernel_size = _pair(kernel_size)
+        self.stride = int(stride)
+        self.padding = int(padding)
+        kh, kw = self.kernel_size
+        weight = init.kaiming_normal(
+            (self.out_channels, self.in_channels, kh, kw), rng, dtype=dtype
+        )
+        self.weight = Parameter(weight, name="weight")
+        self.has_bias = bool(bias)
+        if self.has_bias:
+            self.bias = Parameter(init.zeros((self.out_channels,), dtype), name="bias")
+        self._cache = None
+
+    def _weight_matrix(self, w):
+        kh, kw = self.kernel_size
+        return w.reshape(self.out_channels, self.in_channels * kh * kw)
+
+    def forward(self, x):
+        x = np.asarray(x)
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"expected input (N, {self.in_channels}, H, W), got {x.shape}"
+            )
+        n = x.shape[0]
+        cols, out_h, out_w = F.im2col(
+            x, self.kernel_size, stride=self.stride, padding=self.padding
+        )
+        w = self.effective_weight()
+        w_mat = self._weight_matrix(w)
+        out = w_mat @ cols  # (F, N*oh*ow)
+        out = out.reshape(self.out_channels, n, out_h, out_w).transpose(1, 0, 2, 3)
+        if self.has_bias:
+            out = out + self.bias.data.reshape(1, -1, 1, 1)
+        self._cache = {
+            "x_shape": x.shape,
+            "cols": cols,
+            "w_mat": w_mat,
+            "out_hw": (out_h, out_w),
+        }
+        return np.ascontiguousarray(out)
+
+    def _grad_matrix(self, grad_out):
+        n = grad_out.shape[0]
+        out_h, out_w = self._cache["out_hw"]
+        return grad_out.transpose(1, 0, 2, 3).reshape(
+            self.out_channels, n * out_h * out_w
+        )
+
+    def backward(self, grad_out):
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        cols = self._cache["cols"]
+        w_mat = self._cache["w_mat"]
+        g_mat = self._grad_matrix(grad_out)
+        grad_w = (g_mat @ cols.T).reshape(self.weight.data.shape)
+        self.weight.accumulate_grad(grad_w)
+        if self.has_bias:
+            self.bias.accumulate_grad(g_mat.sum(axis=1))
+        grad_cols = w_mat.T @ g_mat
+        return F.col2im(
+            grad_cols,
+            self._cache["x_shape"],
+            self.kernel_size,
+            stride=self.stride,
+            padding=self.padding,
+        )
+
+    def backward_second(self, curv_out):
+        if self._cache is None:
+            raise RuntimeError("backward_second called before forward")
+        cols = self._cache["cols"]
+        w_mat = self._cache["w_mat"]
+        h_mat = self._grad_matrix(curv_out)
+        curv_w = (h_mat @ np.square(cols).T).reshape(self.weight.data.shape)
+        self.weight.accumulate_curvature(curv_w)
+        if self.has_bias:
+            self.bias.accumulate_curvature(h_mat.sum(axis=1))
+        curv_cols = np.square(w_mat).T @ h_mat
+        return F.col2im(
+            curv_cols,
+            self._cache["x_shape"],
+            self.kernel_size,
+            stride=self.stride,
+            padding=self.padding,
+        )
+
+    def __repr__(self):
+        return (
+            f"Conv2d(in={self.in_channels}, out={self.out_channels}, "
+            f"kernel={self.kernel_size}, stride={self.stride}, "
+            f"padding={self.padding}, bias={self.has_bias})"
+        )

@@ -1,0 +1,54 @@
+"""Inverted dropout.
+
+In training mode each activation is kept with probability ``1 - p`` and
+scaled by ``1/(1-p)``.  The layer is linear given its mask, so gradients
+multiply by the mask scale and diagonal curvature by its square.  In
+inference mode (where all CiM mapping experiments run) it is the identity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.utils.rng import RngStream
+
+__all__ = ["Dropout"]
+
+
+class Dropout(Module):
+    """Inverted dropout with drop probability ``p``."""
+
+    def __init__(self, p=0.5, rng=None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"p must be in [0, 1), got {p}")
+        self.p = float(p)
+        self._rng = rng if rng is not None else RngStream(0).child("dropout")
+        self._cache = None
+
+    def forward(self, x):
+        if not self.training or self.p == 0.0:
+            self._cache = {"scale": None}
+            return x
+        keep = 1.0 - self.p
+        mask = self._rng.generator.random(x.shape) < keep
+        scale = mask.astype(x.dtype) / keep
+        self._cache = {"scale": scale}
+        return x * scale
+
+    def backward(self, grad_out):
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        scale = self._cache["scale"]
+        if scale is None:
+            return grad_out
+        return grad_out * scale
+
+    def backward_second(self, curv_out):
+        if self._cache is None:
+            raise RuntimeError("backward_second called before forward")
+        scale = self._cache["scale"]
+        if scale is None:
+            return curv_out
+        return curv_out * np.square(scale)

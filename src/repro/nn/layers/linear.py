@@ -1,0 +1,86 @@
+"""Fully connected layer with gradient and diagonal-curvature passes.
+
+This layer is the reference implementation of the paper's Sec. 3.3 math.
+With ``O = W P + b`` (paper Eq. 7):
+
+- gradient w.r.t. weights (Eq. 12):   ``dF/dW_ji = dF/dO_j * P_i``
+- gradient w.r.t. inputs  (Eq. 13):   ``dF/dP_i  = sum_j W_ji dF/dO_j``
+- curvature w.r.t. weights (Eq. 8):   ``d2F/dW_ji^2 = d2F/dO_j^2 * P_i^2``
+- curvature w.r.t. inputs  (Eq. 10):  ``d2F/dP_i^2 = sum_j W_ji^2 d2F/dO_j^2``
+
+The curvature recursion drops the Hessian cross terms, following the
+paper's (and Optimal Brain Damage's) diagonal approximation; the bias
+curvature is ``d2F/db_j^2 = d2F/dO_j^2`` since the output is linear in b
+with coefficient 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.layers.base import WeightedLayer
+from repro.nn.parameter import Parameter
+
+__all__ = ["Linear"]
+
+
+class Linear(WeightedLayer):
+    """Affine map ``y = x @ W.T + b`` over inputs of shape ``(N, in)``."""
+
+    def __init__(self, in_features, out_features, bias=True, rng=None, dtype=np.float32):
+        super().__init__()
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        if rng is None:
+            raise ValueError("Linear requires an RngStream for initialization")
+        weight = init.kaiming_uniform(
+            (self.out_features, self.in_features), rng, dtype=dtype
+        )
+        self.weight = Parameter(weight, name="weight")
+        self.has_bias = bool(bias)
+        if self.has_bias:
+            self.bias = Parameter(init.zeros((self.out_features,), dtype), name="bias")
+        self._cache = None
+
+    def forward(self, x):
+        x = np.asarray(x)
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected input (N, {self.in_features}), got {x.shape}"
+            )
+        w = self.effective_weight()
+        out = x @ w.T
+        if self.has_bias:
+            out = out + self.bias.data
+        self._cache = {"x": x, "w": w}
+        return out
+
+    def backward(self, grad_out):
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x = self._cache["x"]
+        w = self._cache["w"]
+        self.weight.accumulate_grad(grad_out.T @ x)
+        if self.has_bias:
+            self.bias.accumulate_grad(grad_out.sum(axis=0))
+        return grad_out @ w
+
+    def backward_second(self, curv_out):
+        if self._cache is None:
+            raise RuntimeError("backward_second called before forward")
+        x = self._cache["x"]
+        w = self._cache["w"]
+        # Eq. 8: curvature of each weight sums (over the batch) the output
+        # curvature times the squared input it multiplies.
+        self.weight.accumulate_curvature(curv_out.T @ np.square(x))
+        if self.has_bias:
+            self.bias.accumulate_curvature(curv_out.sum(axis=0))
+        # Eq. 10: propagate through squared weights.
+        return curv_out @ np.square(w)
+
+    def __repr__(self):
+        return (
+            f"Linear(in={self.in_features}, out={self.out_features}, "
+            f"bias={self.has_bias})"
+        )

@@ -1,0 +1,8 @@
+"""Model zoo: the paper's three workloads plus test helpers."""
+
+from repro.nn.models.convnet import convnet
+from repro.nn.models.lenet import lenet
+from repro.nn.models.mlp import mlp
+from repro.nn.models.resnet import BasicBlock, resnet, resnet18
+
+__all__ = ["BasicBlock", "convnet", "lenet", "mlp", "resnet", "resnet18"]

@@ -1,0 +1,76 @@
+"""ConvNet for CIFAR-sized inputs — the paper's Fig. 2a workload.
+
+The paper's ConvNet cites DNN+NeuroSim [6], whose CIFAR-10 network is a
+VGG-8-style stack: three blocks of (conv, conv, pool) with channel widths
+(128, 256, 512) followed by a 1024-wide fully connected layer.  A
+``width_mult`` knob scales all channel widths so the CPU-only experiments
+stay tractable; the full-width instance has ~6.4M weights, matching the
+paper's reported parameter count.
+"""
+
+from __future__ import annotations
+
+from repro.nn.layers import BatchNorm2d, Conv2d, Flatten, Linear, MaxPool2d, ReLU
+from repro.nn.module import Sequential
+from repro.nn.quant import ActQuant
+
+__all__ = ["convnet"]
+
+
+def _scaled(width, mult, minimum=8):
+    return max(int(round(width * mult)), minimum)
+
+
+def convnet(
+    rng,
+    num_classes=10,
+    in_channels=3,
+    width_mult=1.0,
+    image_size=32,
+    act_bits=None,
+    batch_norm=True,
+    fc_features=1024,
+):
+    """Build the NeuroSim-style CIFAR ConvNet (VGG-8 layout).
+
+    Parameters
+    ----------
+    rng:
+        :class:`~repro.utils.rng.RngStream` for weight initialization.
+    width_mult:
+        Multiplies every channel width (1.0 = paper scale, ~6.4M weights).
+    act_bits:
+        When set, insert :class:`ActQuant` after every ReLU.
+    batch_norm:
+        Insert BatchNorm2d after each convolution (stabilizes training of
+        the from-scratch substrate; disabled reproduces the bare stack).
+    """
+    widths = [_scaled(c, width_mult) for c in (128, 256, 512)]
+    fc_width = _scaled(fc_features, width_mult, minimum=32)
+    if image_size % 8 != 0:
+        raise ValueError(f"image_size must be divisible by 8, got {image_size}")
+    feat = image_size // 8
+
+    layers = []
+    prev = in_channels
+    for block_index, width in enumerate(widths):
+        for conv_index in range(2):
+            name = f"b{block_index}c{conv_index}"
+            layers.append(
+                Conv2d(prev, width, 3, padding=1, bias=not batch_norm,
+                       rng=rng.child(name))
+            )
+            if batch_norm:
+                layers.append(BatchNorm2d(width))
+            layers.append(ReLU())
+            if act_bits is not None:
+                layers.append(ActQuant(act_bits))
+            prev = width
+        layers.append(MaxPool2d(2))
+    layers.append(Flatten())
+    layers.append(Linear(prev * feat * feat, fc_width, rng=rng.child("fc1")))
+    layers.append(ReLU())
+    if act_bits is not None:
+        layers.append(ActQuant(act_bits))
+    layers.append(Linear(fc_width, num_classes, rng=rng.child("fc2")))
+    return Sequential(*layers)

@@ -1,0 +1,82 @@
+"""LeNet for 28x28 grayscale inputs — the paper's MNIST workload (Table 1).
+
+Topology (LeNet-5 style): two conv+pool stages followed by three fully
+connected layers.  Channel/feature widths are configurable so tests can use
+tiny instances; the defaults match the classic definition.  Optional
+``ActQuant`` layers after each ReLU implement the paper's "weights and
+activations are quantized to 4 bits" setting.
+"""
+
+from __future__ import annotations
+
+from repro.nn.layers import Conv2d, Flatten, Linear, MaxPool2d, ReLU
+from repro.nn.module import Sequential
+from repro.nn.quant import ActQuant
+
+__all__ = ["lenet"]
+
+
+def lenet(
+    rng,
+    num_classes=10,
+    in_channels=1,
+    conv_channels=(6, 16),
+    fc_features=(120, 84),
+    act_bits=None,
+    image_size=28,
+):
+    """Build a LeNet as a :class:`~repro.nn.module.Sequential`.
+
+    Parameters
+    ----------
+    rng:
+        :class:`~repro.utils.rng.RngStream` for weight initialization.
+    num_classes:
+        Output classes.
+    in_channels:
+        Input image channels.
+    conv_channels:
+        Channels of the two convolution stages.
+    fc_features:
+        Widths of the two hidden fully connected layers.
+    act_bits:
+        When set, insert :class:`ActQuant` after every ReLU.
+    image_size:
+        Input spatial size (square).
+
+    Returns
+    -------
+    Sequential
+        The model; expects inputs of shape ``(N, in_channels, S, S)``.
+    """
+    c1, c2 = conv_channels
+    f1, f2 = fc_features
+    # conv1 keeps the spatial size (padding 2 with kernel 5); two 2x2 pools
+    # and an unpadded conv shrink S -> S/2 -> (S/2 - 4) -> (S/2 - 4)/2.
+    feat = (image_size // 2 - 4) // 2
+    if feat <= 0:
+        raise ValueError(f"image_size {image_size} too small for LeNet")
+
+    def maybe_quant(layers):
+        if act_bits is not None:
+            layers.append(ActQuant(act_bits))
+        return layers
+
+    layers = []
+    layers.append(Conv2d(in_channels, c1, 5, padding=2, rng=rng.child("conv1")))
+    layers.append(ReLU())
+    maybe_quant(layers)
+    layers.append(MaxPool2d(2))
+    layers.append(Conv2d(c1, c2, 5, rng=rng.child("conv2")))
+    layers.append(ReLU())
+    maybe_quant(layers)
+    layers.append(MaxPool2d(2))
+    layers.append(Flatten())
+    layers.append(Linear(c2 * feat * feat, f1, rng=rng.child("fc1")))
+    layers.append(ReLU())
+    maybe_quant(layers)
+    layers.append(Linear(f1, f2, rng=rng.child("fc2")))
+    layers.append(ReLU())
+    maybe_quant(layers)
+    layers.append(Linear(f2, num_classes, rng=rng.child("fc3")))
+    return Sequential(*layers)

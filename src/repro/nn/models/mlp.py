@@ -1,0 +1,38 @@
+"""Small multilayer perceptrons for tests, toys, and finite-difference checks."""
+
+from __future__ import annotations
+
+from repro.nn.layers import Flatten, Linear, ReLU, Sigmoid, Tanh
+from repro.nn.module import Sequential
+
+__all__ = ["mlp"]
+
+_ACTIVATIONS = {"relu": ReLU, "tanh": Tanh, "sigmoid": Sigmoid}
+
+
+def mlp(rng, layer_sizes, activation="relu", flatten_input=False):
+    """Build an MLP with the given layer sizes.
+
+    Parameters
+    ----------
+    rng:
+        :class:`~repro.utils.rng.RngStream` for weight initialization.
+    layer_sizes:
+        E.g. ``(784, 128, 10)`` builds two Linear layers with one
+        activation between them.
+    activation:
+        One of ``relu``, ``tanh``, ``sigmoid``.
+    flatten_input:
+        Prepend a Flatten layer (for image inputs).
+    """
+    if len(layer_sizes) < 2:
+        raise ValueError("need at least input and output sizes")
+    if activation not in _ACTIVATIONS:
+        raise ValueError(f"unknown activation {activation!r}")
+    act_cls = _ACTIVATIONS[activation]
+    layers = [Flatten()] if flatten_input else []
+    for index, (fan_in, fan_out) in enumerate(zip(layer_sizes, layer_sizes[1:])):
+        layers.append(Linear(fan_in, fan_out, rng=rng.child(f"fc{index}")))
+        if index < len(layer_sizes) - 2:
+            layers.append(act_cls())
+    return Sequential(*layers)

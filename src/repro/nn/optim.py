@@ -1,0 +1,114 @@
+"""Optimizers and learning-rate schedules for the training substrate.
+
+The models mapped to the CiM simulator are trained off-chip first (paper
+Sec. 4.2: "all models ... trained to converge on GPU before mapping").  SGD
+with momentum and Adam cover everything the model zoo needs; schedules are
+simple callables ``epoch -> lr`` so the trainer stays decoupled.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SGD", "Adam", "cosine_schedule", "step_schedule", "constant_schedule"]
+
+
+class Optimizer:
+    """Base: holds parameters and a current learning rate."""
+
+    def __init__(self, params, lr):
+        self.params = [p for p in params if p.trainable]
+        if not self.params:
+            raise ValueError("optimizer received no trainable parameters")
+        self.lr = float(lr)
+
+    def zero_grad(self):
+        """Zero gradient accumulators of all managed parameters."""
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self):
+        """Apply one update from the accumulated gradients."""
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """SGD with momentum, Nesterov, and decoupled weight decay."""
+
+    def __init__(self, params, lr=0.1, momentum=0.9, weight_decay=0.0, nesterov=False):
+        super().__init__(params, lr)
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self.nesterov = bool(nesterov)
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self):
+        for p, vel in zip(self.params, self._velocity):
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            vel *= self.momentum
+            vel += grad
+            update = grad + self.momentum * vel if self.nesterov else vel
+            p.data = p.data - self.lr * update.astype(p.data.dtype)
+
+
+class Adam(Optimizer):
+    """Adam with bias correction."""
+
+    def __init__(self, params, lr=1e-3, betas=(0.9, 0.999), eps=1e-8, weight_decay=0.0):
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = float(betas[0]), float(betas[1])
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self):
+        self._t += 1
+        bc1 = 1.0 - self.beta1 ** self._t
+        bc2 = 1.0 - self.beta2 ** self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            m *= self.beta1
+            m += (1 - self.beta1) * grad
+            v *= self.beta2
+            v += (1 - self.beta2) * np.square(grad)
+            m_hat = m / bc1
+            v_hat = v / bc2
+            p.data = p.data - (self.lr * m_hat / (np.sqrt(v_hat) + self.eps)).astype(
+                p.data.dtype
+            )
+
+
+def cosine_schedule(base_lr, total_epochs, min_lr=0.0):
+    """Cosine decay from ``base_lr`` to ``min_lr`` over ``total_epochs``."""
+
+    def schedule(epoch):
+        frac = min(max(epoch, 0), total_epochs) / max(total_epochs, 1)
+        return min_lr + 0.5 * (base_lr - min_lr) * (1 + np.cos(np.pi * frac))
+
+    return schedule
+
+
+def step_schedule(base_lr, milestones, gamma=0.1):
+    """Multiply the LR by ``gamma`` at each epoch in ``milestones``."""
+    milestones = sorted(int(m) for m in milestones)
+
+    def schedule(epoch):
+        factor = sum(1 for m in milestones if epoch >= m)
+        return base_lr * (gamma ** factor)
+
+    return schedule
+
+
+def constant_schedule(base_lr):
+    """A constant learning rate."""
+
+    def schedule(epoch):
+        return base_lr
+
+    return schedule

@@ -1,0 +1,75 @@
+"""Learnable parameters with gradient and diagonal-curvature buffers.
+
+A :class:`Parameter` owns three same-shaped arrays:
+
+``data``
+    The current value.
+``grad``
+    First-derivative accumulator, filled by ``Module.backward`` (Eq. 12/13
+    of the paper).
+``curvature``
+    Diagonal-second-derivative accumulator, filled by
+    ``Module.backward_second`` (Eq. 8/10 of the paper).  This is the
+    quantity SWIM uses as the weight-sensitivity metric.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Parameter"]
+
+
+class Parameter:
+    """A trainable tensor with ``grad`` and ``curvature`` accumulators."""
+
+    def __init__(self, data, name="param", trainable=True):
+        self.data = np.asarray(data)
+        self.name = str(name)
+        self.trainable = bool(trainable)
+        self.grad = np.zeros_like(self.data)
+        self.curvature = np.zeros_like(self.data)
+
+    @property
+    def shape(self):
+        """Shape of the underlying array."""
+        return self.data.shape
+
+    @property
+    def size(self):
+        """Number of scalar elements."""
+        return self.data.size
+
+    @property
+    def dtype(self):
+        """Dtype of the underlying array."""
+        return self.data.dtype
+
+    def zero_grad(self):
+        """Reset the gradient accumulator to zero."""
+        self.grad = np.zeros_like(self.data)
+
+    def zero_curvature(self):
+        """Reset the curvature accumulator to zero."""
+        self.curvature = np.zeros_like(self.data)
+
+    def accumulate_grad(self, delta):
+        """Add ``delta`` into the gradient accumulator."""
+        self.grad = self.grad + delta
+
+    def accumulate_curvature(self, delta):
+        """Add ``delta`` into the curvature accumulator."""
+        self.curvature = self.curvature + delta
+
+    def copy_(self, values):
+        """In-place overwrite of ``data`` (shape-checked)."""
+        values = np.asarray(values, dtype=self.data.dtype)
+        if values.shape != self.data.shape:
+            raise ValueError(
+                f"shape mismatch for {self.name}: "
+                f"{values.shape} vs {self.data.shape}"
+            )
+        self.data = values.copy()
+
+    def __repr__(self):
+        return f"Parameter({self.name}, shape={self.data.shape}, dtype={self.dtype})"

@@ -1,0 +1,193 @@
+"""Uniform quantization for weights and activations.
+
+The paper quantizes weights and activations to 4 bits (LeNet) or 6 bits
+(ConvNet, ResNet-18) before mapping (Sec. 4.2-4.4), with the desired weight
+code defined by Eq. 14 as an M-bit *magnitude* plus sign (negative weights
+map "in a similar manner", i.e. onto a differential device column).
+
+Conventions implemented here:
+
+- **Symmetric per-tensor scheme.**  A weight tensor with scale
+  ``s = max|w| / qmax`` maps value ``w`` to integer code
+  ``round(w / s)`` clipped to ``[-qmax, qmax]`` with ``qmax = 2^M - 1``
+  (M magnitude bits, Eq. 14).
+- **Straight-through estimator (STE).**  During quantization-aware
+  training the forward pass sees quantized values while gradients flow to
+  the float master copy unchanged (clipped outside the representable
+  range for activations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.layers.base import WeightedLayer
+from repro.nn.module import Module
+
+__all__ = [
+    "QuantConfig",
+    "quantize_symmetric",
+    "dequantize",
+    "fake_quantize",
+    "ActQuant",
+    "attach_weight_quantizers",
+    "detach_weight_quantizers",
+]
+
+
+@dataclass(frozen=True)
+class QuantConfig:
+    """Bit widths used when preparing a model for CiM mapping.
+
+    Attributes
+    ----------
+    weight_bits:
+        Magnitude bits M of Eq. 14 (sign is differential, not a bit).
+    act_bits:
+        Activation bits; ``None`` disables activation quantization.
+    """
+
+    weight_bits: int = 4
+    act_bits: int | None = 4
+
+    def __post_init__(self):
+        if self.weight_bits < 1:
+            raise ValueError("weight_bits must be >= 1")
+        if self.act_bits is not None and self.act_bits < 1:
+            raise ValueError("act_bits must be >= 1 or None")
+
+    @property
+    def qmax(self):
+        """Largest magnitude code, ``2^M - 1``."""
+        return (1 << self.weight_bits) - 1
+
+
+def quantize_symmetric(values, bits, scale=None):
+    """Quantize to signed integer codes in ``[-qmax, qmax]``.
+
+    Parameters
+    ----------
+    values:
+        Float array.
+    bits:
+        Magnitude bit count M; ``qmax = 2^M - 1``.
+    scale:
+        Optional fixed scale; defaults to ``max|values| / qmax``.
+
+    Returns
+    -------
+    tuple
+        ``(codes, scale)`` with ``codes`` an int64 array satisfying
+        ``values ~= codes * scale``.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    qmax = (1 << int(bits)) - 1
+    if scale is None:
+        peak = float(np.max(np.abs(values), initial=0.0))
+        scale = peak / qmax if peak > 0 else 1.0
+    codes = np.clip(np.rint(values / scale), -qmax, qmax).astype(np.int64)
+    return codes, float(scale)
+
+
+def dequantize(codes, scale):
+    """Map integer codes back to float values."""
+    return np.asarray(codes, dtype=np.float64) * float(scale)
+
+
+def fake_quantize(values, bits, scale=None):
+    """Quantize-dequantize round trip (same dtype as input)."""
+    values = np.asarray(values)
+    codes, s = quantize_symmetric(values, bits, scale=scale)
+    return dequantize(codes, s).astype(values.dtype)
+
+
+class _WeightFakeQuant:
+    """Callable attached to ``WeightedLayer.weight_quantizer``."""
+
+    def __init__(self, bits):
+        self.bits = int(bits)
+
+    def __call__(self, weights):
+        return fake_quantize(weights, self.bits)
+
+    def __repr__(self):
+        return f"_WeightFakeQuant(bits={self.bits})"
+
+
+def attach_weight_quantizers(model, bits):
+    """Enable STE weight fake-quantization on every weighted layer.
+
+    Returns the number of layers affected.
+    """
+    count = 0
+    for module in model.modules():
+        if isinstance(module, WeightedLayer):
+            module.weight_quantizer = _WeightFakeQuant(bits)
+            count += 1
+    return count
+
+
+def detach_weight_quantizers(model):
+    """Remove weight fake-quantization from every weighted layer."""
+    count = 0
+    for module in model.modules():
+        if isinstance(module, WeightedLayer):
+            if module.weight_quantizer is not None:
+                count += 1
+            module.weight_quantizer = None
+    return count
+
+
+class ActQuant(Module):
+    """Activation fake-quantization layer with running-range calibration.
+
+    In training mode the layer tracks the maximum absolute activation with
+    an exponential moving average and quantizes with the straight-through
+    estimator (gradient clipped outside the representable range).  In
+    inference mode the frozen range is used.  Placed after each activation
+    in the quantized model definitions, mirroring the paper's "weights and
+    activation are quantized" setting.
+    """
+
+    def __init__(self, bits, momentum=0.1):
+        super().__init__()
+        self.bits = int(bits)
+        self.momentum = float(momentum)
+        self.running_peak = 0.0
+        self.register_buffer_name("running_peak")
+        self._cache = None
+
+    def forward(self, x):
+        if self.training:
+            peak = float(np.max(np.abs(x), initial=0.0))
+            if self.running_peak == 0.0:
+                self.running_peak = peak
+            else:
+                self.running_peak = (
+                    (1 - self.momentum) * self.running_peak + self.momentum * peak
+                )
+        peak = self.running_peak
+        if peak <= 0.0:
+            self._cache = {"mask": np.ones_like(x, dtype=bool)}
+            return x
+        qmax = (1 << self.bits) - 1
+        scale = peak / qmax
+        clipped = np.clip(x, -peak, peak)
+        out = np.rint(clipped / scale) * scale
+        self._cache = {"mask": np.abs(x) <= peak}
+        return out.astype(x.dtype)
+
+    def backward(self, grad_out):
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * self._cache["mask"]
+
+    def backward_second(self, curv_out):
+        if self._cache is None:
+            raise RuntimeError("backward_second called before forward")
+        return curv_out * self._cache["mask"]
+
+    def __repr__(self):
+        return f"ActQuant(bits={self.bits}, peak={self.running_peak:.4g})"

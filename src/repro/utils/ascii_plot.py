@@ -1,0 +1,121 @@
+"""Terminal line/scatter plots for the figure reproductions.
+
+The execution environment has no matplotlib, so the Fig. 1 and Fig. 2
+reproductions render their curves as ASCII plots.  The goal is to make the
+*shape* of each figure (who is on top, where curves cross, how wide the
+std band is) visible directly in the benchmark output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["line_plot", "scatter_plot"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _prepare_axes(xs_all, ys_all, width, height):
+    x_min = min(float(np.min(x)) for x in xs_all)
+    x_max = max(float(np.max(x)) for x in xs_all)
+    y_min = min(float(np.min(y)) for y in ys_all)
+    y_max = max(float(np.max(y)) for y in ys_all)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    # Pad y range slightly so extreme points are not clipped to the frame.
+    pad = 0.02 * (y_max - y_min)
+    return x_min, x_max, y_min - pad, y_max + pad
+
+
+def line_plot(
+    series,
+    width=72,
+    height=20,
+    title=None,
+    xlabel=None,
+    ylabel=None,
+    draw_lines=True,
+):
+    """Render named (x, y) series as an ASCII plot.
+
+    Parameters
+    ----------
+    series:
+        Mapping of ``name -> (x_values, y_values)``.
+    width, height:
+        Plot body size in characters.
+    title, xlabel, ylabel:
+        Optional labels.
+    draw_lines:
+        When True, interpolate a dotted polyline between points.
+
+    Returns
+    -------
+    str
+        The rendered plot, ready to print.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    names = list(series)
+    xs_all = [np.asarray(series[n][0], dtype=np.float64) for n in names]
+    ys_all = [np.asarray(series[n][1], dtype=np.float64) for n in names]
+    x_min, x_max, y_min, y_max = _prepare_axes(xs_all, ys_all, width, height)
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_col(x):
+        return int(round((x - x_min) / (x_max - x_min) * (width - 1)))
+
+    def to_row(y):
+        frac = (y - y_min) / (y_max - y_min)
+        return (height - 1) - int(round(frac * (height - 1)))
+
+    for idx, name in enumerate(names):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        xv, yv = xs_all[idx], ys_all[idx]
+        order = np.argsort(xv)
+        xv, yv = xv[order], yv[order]
+        # Dense interpolation so the polyline is visually continuous.
+        if draw_lines and xv.size >= 2:
+            t = np.linspace(x_min, x_max, width * 2)
+            t = t[(t >= xv.min()) & (t <= xv.max())]
+            yi = np.interp(t, xv, yv)
+            for x, y in zip(t, yi):
+                grid[to_row(y)][to_col(x)] = "."
+        for x, y in zip(xv, yv):
+            grid[to_row(y)][to_col(x)] = marker
+
+    lines = []
+    if title:
+        lines.append(title.center(width + 10))
+    for r, row in enumerate(grid):
+        y_here = y_max - (y_max - y_min) * r / (height - 1)
+        label = f"{y_here:8.2f} |"
+        lines.append(label + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    x_axis = f"{x_min:<10.2f}" + " " * max(0, width - 20) + f"{x_max:>10.2f}"
+    lines.append(" " * 9 + x_axis)
+    if xlabel:
+        lines.append(" " * 9 + xlabel.center(width))
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(names)
+    )
+    lines.append("  legend: " + legend)
+    if ylabel:
+        lines.insert(1 if title else 0, f"  [y: {ylabel}]")
+    return "\n".join(lines)
+
+
+def scatter_plot(x, y, width=72, height=20, title=None, xlabel=None, ylabel=None):
+    """Render a single scatter series (used for Fig. 1a/1b)."""
+    return line_plot(
+        {"data": (np.asarray(x), np.asarray(y))},
+        width=width,
+        height=height,
+        title=title,
+        xlabel=xlabel,
+        ylabel=ylabel,
+        draw_lines=False,
+    )

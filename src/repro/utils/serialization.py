@@ -1,0 +1,75 @@
+"""Save/load of model parameters and experiment results as ``.npz`` files.
+
+Trained models are the most expensive artifact in the repository (ResNet-18
+training dominates experiment time), so the model zoo caches parameters on
+disk keyed by a content hash of the training configuration.  Results are
+stored the same way so a benchmark re-run can skip completed sweeps.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+__all__ = [
+    "save_state_dict",
+    "load_state_dict",
+    "save_results",
+    "load_results",
+]
+
+_META_KEY = "__meta_json__"
+
+
+def save_state_dict(path, state, meta=None):
+    """Save a ``name -> ndarray`` mapping (plus JSON metadata) to ``path``.
+
+    Parameters
+    ----------
+    path:
+        Destination file; parent directories are created.
+    state:
+        Mapping from parameter name to numpy array.
+    meta:
+        Optional JSON-serializable metadata dictionary.
+    """
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    payload = {str(k): np.asarray(v) for k, v in state.items()}
+    if _META_KEY in payload:
+        raise ValueError(f"state may not use reserved key {_META_KEY!r}")
+    payload[_META_KEY] = np.frombuffer(
+        json.dumps(meta or {}).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **payload)
+
+
+def load_state_dict(path):
+    """Load a state dict saved by :func:`save_state_dict`.
+
+    Returns
+    -------
+    tuple
+        ``(state, meta)`` where ``state`` maps names to arrays and ``meta``
+        is the metadata dictionary (empty if none was saved).
+    """
+    with np.load(path, allow_pickle=False) as archive:
+        state = {}
+        meta = {}
+        for key in archive.files:
+            if key == _META_KEY:
+                meta = json.loads(bytes(archive[key].tobytes()).decode("utf-8"))
+            else:
+                state[key] = archive[key]
+    return state, meta
+
+
+def save_results(path, arrays, meta=None):
+    """Alias of :func:`save_state_dict` for experiment result arrays."""
+    save_state_dict(path, arrays, meta=meta)
+
+
+def load_results(path):
+    """Alias of :func:`load_state_dict` for experiment result arrays."""
+    return load_state_dict(path)

@@ -1,0 +1,126 @@
+"""Statistical helpers used by the Monte Carlo experiment harness.
+
+These are deliberately small, dependency-light implementations of the
+aggregate statistics reported in the paper: mean +/- std over Monte Carlo
+runs (Table 1, Fig. 2 shading), Pearson correlation (Fig. 1b quotes a
+coefficient of 0.83), and bootstrap confidence intervals used by the
+integration tests to make stochastic assertions robust.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "MeanStd",
+    "summarize",
+    "pearson",
+    "spearman",
+    "bootstrap_mean_ci",
+    "running_mean_converged",
+]
+
+
+@dataclass(frozen=True)
+class MeanStd:
+    """A mean +/- std pair with sample count, formatted like the paper."""
+
+    mean: float
+    std: float
+    n: int
+
+    def __str__(self):
+        return f"{self.mean:.2f} ± {self.std:.2f}"
+
+    def as_tuple(self):
+        """Return ``(mean, std)``."""
+        return (self.mean, self.std)
+
+
+def summarize(values):
+    """Summarize a sequence of Monte Carlo results as :class:`MeanStd`.
+
+    Uses the population std (ddof=0) as the paper's tables do not state a
+    correction and run counts are large.
+    """
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sequence")
+    return MeanStd(mean=float(arr.mean()), std=float(arr.std()), n=int(arr.size))
+
+
+def pearson(x, y):
+    """Pearson correlation coefficient between two 1-D sequences.
+
+    Returns 0.0 when either input is constant (correlation undefined),
+    which is the conservative choice for sensitivity-metric comparisons.
+    """
+    ax = np.asarray(x, dtype=np.float64).ravel()
+    ay = np.asarray(y, dtype=np.float64).ravel()
+    if ax.shape != ay.shape:
+        raise ValueError(f"shape mismatch: {ax.shape} vs {ay.shape}")
+    if ax.size < 2:
+        raise ValueError("need at least two points")
+    sx = ax.std()
+    sy = ay.std()
+    if sx == 0.0 or sy == 0.0:
+        return 0.0
+    return float(((ax - ax.mean()) * (ay - ay.mean())).mean() / (sx * sy))
+
+
+def _rankdata(values):
+    """Average-tie ranks (1-based), like scipy.stats.rankdata."""
+    arr = np.asarray(values, dtype=np.float64).ravel()
+    order = np.argsort(arr, kind="stable")
+    ranks = np.empty(arr.size, dtype=np.float64)
+    sorted_vals = arr[order]
+    i = 0
+    while i < arr.size:
+        j = i
+        while j + 1 < arr.size and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        ranks[order[i : j + 1]] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    return ranks
+
+
+def spearman(x, y):
+    """Spearman rank correlation (Pearson on average-tie ranks)."""
+    return pearson(_rankdata(x), _rankdata(y))
+
+
+def bootstrap_mean_ci(values, confidence=0.95, n_resamples=2000, seed=0):
+    """Bootstrap confidence interval for the mean of ``values``.
+
+    Returns ``(low, high)``.  Used by statistical integration tests so that
+    assertions like "SWIM beats Random at NWC=0.1" tolerate Monte Carlo
+    noise without being vacuous.
+    """
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot bootstrap an empty sequence")
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, arr.size, size=(n_resamples, arr.size))
+    means = arr[idx].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(means, [alpha, 1.0 - alpha])
+    return float(low), float(high)
+
+
+def running_mean_converged(values, rel_tol=0.01, window=10):
+    """Check whether the running mean of a Monte Carlo sequence has settled.
+
+    True when the last ``window`` running-mean values all lie within
+    ``rel_tol`` (relative) of the final mean.  Mirrors the paper's remark
+    that results are reported "with verified convergence".
+    """
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size < window + 1:
+        return False
+    cums = np.cumsum(arr) / np.arange(1, arr.size + 1)
+    final = cums[-1]
+    scale = max(abs(final), 1e-12)
+    tail = cums[-window:]
+    return bool(np.all(np.abs(tail - final) <= rel_tol * scale))

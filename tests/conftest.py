@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RngStream
+
+
+@pytest.fixture
+def rng():
+    """A deterministic root RNG stream for tests."""
+    return RngStream(seed=1234)
+
+
+@pytest.fixture
+def float64_default():
+    """Context: run a test with float64 defaults for finite differences."""
+    return np.float64
+
+
+@pytest.fixture(scope="session")
+def trained_lenet():
+    """A small LeNet trained on SyntheticDigits (shared across tests).
+
+    Returns ``(model, data, clean_accuracy)``.  Session-scoped because
+    training costs a few seconds; tests must not mutate the parameters
+    (use weight overrides instead).
+    """
+    from repro.data import synthetic_digits
+    from repro.nn import SGD, TrainConfig, Trainer, cosine_schedule, evaluate_accuracy
+    from repro.nn.models import lenet
+
+    root = RngStream(seed=777)
+    data = synthetic_digits(n_train=900, n_test=300, rng=root.child("data"))
+    model = lenet(root.child("model"), conv_channels=(6, 12), fc_features=(64, 32))
+    optimizer = SGD(model.parameters(), lr=0.03, momentum=0.9)
+    trainer = Trainer(optimizer, schedule=cosine_schedule(0.03, 8),
+                      rng=root.child("train"))
+    trainer.fit(model, data.train_x, data.train_y,
+                config=TrainConfig(epochs=8, batch_size=64))
+    accuracy = evaluate_accuracy(model, data.test_x, data.test_y)
+    assert accuracy > 0.9, f"fixture model failed to train: {accuracy}"
+    return model, data, accuracy

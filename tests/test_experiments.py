@@ -1,0 +1,140 @@
+"""Experiment drivers: presets, zoo caching, sweep machinery (smoke scale)."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import DEFAULT_NWC_TARGETS
+from repro.experiments.config import SCALES, SMOKE, get_scale
+from repro.experiments.model_zoo import build_data, build_model, load_workload
+from repro.experiments.reporting import render_ablation, save_sweep_csv
+from repro.experiments.sweeps import run_method_sweep
+from repro.experiments.table1 import render_table1
+from repro.utils.rng import RngStream
+
+
+def test_get_scale_resolution(monkeypatch):
+    assert get_scale("smoke").name == "smoke"
+    monkeypatch.setenv("REPRO_SCALE", "smoke")
+    assert get_scale().name == "smoke"
+    with pytest.raises(KeyError, match="unknown scale"):
+        get_scale("huge")
+
+
+def test_presets_cover_all_workloads():
+    keys = {"lenet-digits", "convnet-cifar", "resnet18-cifar", "resnet18-tiny"}
+    for preset in SCALES.values():
+        assert set(preset.workloads) == keys
+    with pytest.raises(KeyError, match="unknown workload"):
+        SMOKE.workload("alexnet")
+
+
+def test_build_data_and_model_dispatch():
+    spec = SMOKE.workload("lenet-digits")
+    data = build_data(spec, RngStream(1).child("d"))
+    assert data.train_x.shape[0] == spec.n_train
+    model = build_model(spec, RngStream(1).child("m"))
+    assert model.num_parameters() > 0
+
+
+def test_zoo_cache_roundtrip(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    spec = SMOKE.workload("lenet-digits")
+    first = load_workload(spec)
+    second = load_workload(spec)  # hits cache
+    assert second.clean_accuracy == pytest.approx(first.clean_accuracy)
+    state_a = first.model.state_dict()
+    state_b = second.model.state_dict()
+    for name in state_a:
+        np.testing.assert_array_equal(state_a[name], state_b[name])
+
+
+@pytest.fixture(scope="module")
+def smoke_zoo():
+    return load_workload(SMOKE.workload("lenet-digits"))
+
+
+def test_method_sweep_shapes_and_endpoints(smoke_zoo):
+    targets = (0.0, 0.2, 1.0)
+    outcome = run_method_sweep(
+        smoke_zoo, sigma=0.15, nwc_targets=targets, mc_runs=2,
+        rng=RngStream(3).child("sweep"), eval_samples=120, sense_samples=128,
+        methods=("swim", "random"),
+    )
+    assert set(outcome.curves) == {"swim", "random"}
+    for curve in outcome.curves.values():
+        assert curve.accuracy_runs.shape == (2, 3)
+        assert curve.achieved_nwc[0] == 0.0
+        assert curve.achieved_nwc[-1] == pytest.approx(1.0)
+        assert np.all((0 <= curve.accuracy_runs) & (curve.accuracy_runs <= 1))
+    # Same noise draw at NWC=1.0 -> identical accuracy across methods.
+    np.testing.assert_allclose(
+        outcome.curve("swim").accuracy_runs[:, -1],
+        outcome.curve("random").accuracy_runs[:, -1],
+    )
+
+
+def test_method_sweep_insitu_row(smoke_zoo):
+    outcome = run_method_sweep(
+        smoke_zoo, sigma=0.15, nwc_targets=(0.0, 0.3), mc_runs=1,
+        rng=RngStream(4).child("sweep"), eval_samples=100, sense_samples=128,
+        methods=("insitu",), insitu_lr=0.01,
+    )
+    curve = outcome.curve("insitu")
+    assert curve.accuracy_runs.shape == (1, 2)
+    assert curve.achieved_nwc[1] > 0
+
+
+def test_sweep_csv_round_trip(smoke_zoo, tmp_path):
+    outcome = run_method_sweep(
+        smoke_zoo, sigma=0.1, nwc_targets=(0.0, 1.0), mc_runs=1,
+        rng=RngStream(5).child("sweep"), eval_samples=80, sense_samples=128,
+        methods=("swim",),
+    )
+    path = save_sweep_csv(outcome, os.path.join(tmp_path, "out.csv"))
+    with open(path, encoding="utf-8") as handle:
+        lines = handle.read().strip().splitlines()
+    assert lines[0].startswith("workload,sigma,method")
+    assert len(lines) == 1 + 2  # header + 2 targets x 1 method
+
+
+def test_render_table1_layout(smoke_zoo):
+    from repro.experiments.table1 import Table1Result
+
+    outcome = run_method_sweep(
+        smoke_zoo, sigma=0.1, nwc_targets=DEFAULT_NWC_TARGETS, mc_runs=1,
+        rng=RngStream(6).child("sweep"), eval_samples=80, sense_samples=128,
+        methods=("swim", "magnitude"),
+    )
+    result = Table1Result(
+        workload=smoke_zoo.spec.key,
+        clean_accuracy=smoke_zoo.clean_accuracy,
+        nwc_targets=DEFAULT_NWC_TARGETS,
+        outcomes={0.1: outcome},
+    )
+    text = render_table1(result)
+    assert "SWIM" in text and "Magnitude" in text
+    assert "NWC=0.1" in text
+    markdown = render_table1(result, as_markdown=True)
+    assert markdown.count("|") > 10
+
+
+def test_render_ablation_formats():
+    from repro.experiments.ablations import AblationRow
+
+    rows = [AblationRow(label="a", metrics={"x": 1.0, "y": 2}),
+            AblationRow(label="b", metrics={"x": 3.5, "y": 4})]
+    text = render_ablation(rows, title="demo")
+    assert "demo" in text and "3.5" in text
+    with pytest.raises(ValueError):
+        render_ablation([], title="none")
+
+
+def test_runner_cli_rejects_unknown():
+    from repro.experiments.runner import main
+
+    with pytest.raises(SystemExit):
+        main(["definitely-not-an-experiment"])

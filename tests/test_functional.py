@@ -1,0 +1,105 @@
+"""Array-level building blocks: im2col/col2im, softmax, one-hot."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import functional as F
+
+
+def test_conv_output_size():
+    assert F.conv_output_size(28, 5, 1, 2) == 28
+    assert F.conv_output_size(28, 2, 2, 0) == 14
+    with pytest.raises(ValueError):
+        F.conv_output_size(3, 5, 1, 0)
+
+
+def test_im2col_matches_naive_convolution(rng):
+    """Convolution via im2col equals the direct nested-loop definition."""
+    x = rng.child("x").normal(size=(2, 3, 6, 7))
+    w = rng.child("w").normal(size=(4, 3, 3, 3))
+    stride, padding = 2, 1
+    cols, out_h, out_w = F.im2col(x, (3, 3), stride=stride, padding=padding)
+    out = (w.reshape(4, -1) @ cols).reshape(4, 2, out_h, out_w).transpose(1, 0, 2, 3)
+
+    xp = F.pad2d(x, padding)
+    want = np.zeros_like(out)
+    for n in range(2):
+        for f in range(4):
+            for i in range(out_h):
+                for j in range(out_w):
+                    patch = xp[n, :, i * stride : i * stride + 3,
+                               j * stride : j * stride + 3]
+                    want[n, f, i, j] = (patch * w[f]).sum()
+    np.testing.assert_allclose(out, want, rtol=1e-6, atol=1e-6)
+
+
+def test_col2im_is_adjoint_of_im2col(rng):
+    """<im2col(x), y> == <x, col2im(y)> — the defining adjoint property."""
+    x = rng.child("x").normal(size=(2, 2, 5, 5))
+    cols, _, _ = F.im2col(x, (3, 3), stride=1, padding=1)
+    y = rng.child("y").normal(size=cols.shape)
+    lhs = float((cols * y).sum())
+    back = F.col2im(y, x.shape, (3, 3), stride=1, padding=1)
+    rhs = float((x * back).sum())
+    assert lhs == pytest.approx(rhs, rel=1e-10)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    h=st.integers(4, 9),
+    w=st.integers(4, 9),
+    k=st.integers(1, 3),
+    stride=st.integers(1, 2),
+    padding=st.integers(0, 2),
+    seed=st.integers(0, 1000),
+)
+def test_adjoint_property_holds_generally(h, w, k, stride, padding, seed):
+    gen = np.random.default_rng(seed)
+    x = gen.normal(size=(1, 2, h, w))
+    cols, _, _ = F.im2col(x, (k, k), stride=stride, padding=padding)
+    y = gen.normal(size=cols.shape)
+    lhs = float((cols * y).sum())
+    back = F.col2im(y, x.shape, (k, k), stride=stride, padding=padding)
+    rhs = float((x * back).sum())
+    assert lhs == pytest.approx(rhs, rel=1e-9, abs=1e-9)
+
+
+def test_pad_unpad_roundtrip(rng):
+    x = rng.child("x").normal(size=(1, 1, 4, 4))
+    np.testing.assert_array_equal(F.unpad2d(F.pad2d(x, 2), 2), x)
+
+
+def test_softmax_rows_sum_to_one(rng):
+    logits = rng.child("l").normal(size=(6, 9)) * 10
+    probs = F.softmax(logits, axis=1)
+    np.testing.assert_allclose(probs.sum(axis=1), 1.0, rtol=1e-10)
+    assert probs.min() >= 0
+
+
+def test_log_softmax_consistent_with_softmax(rng):
+    logits = rng.child("l").normal(size=(4, 5))
+    np.testing.assert_allclose(
+        np.exp(F.log_softmax(logits)), F.softmax(logits), rtol=1e-10
+    )
+
+
+def test_softmax_extreme_values_stable():
+    logits = np.array([[1e4, 0.0, -1e4]])
+    probs = F.softmax(logits)
+    assert np.all(np.isfinite(probs))
+    assert probs[0, 0] == pytest.approx(1.0)
+
+
+def test_one_hot_basics():
+    out = F.one_hot(np.array([0, 2, 1]), 3)
+    np.testing.assert_array_equal(
+        out, [[1, 0, 0], [0, 0, 1], [0, 1, 0]]
+    )
+    with pytest.raises(ValueError, match="range"):
+        F.one_hot(np.array([3]), 3)
+    with pytest.raises(ValueError, match="1-D"):
+        F.one_hot(np.zeros((2, 2), dtype=np.int64), 3)

@@ -1,0 +1,87 @@
+"""End-to-end pipeline integration: train -> map -> SWIM -> deploy -> age.
+
+One test walks the full public API exactly as a downstream user would,
+asserting cross-module invariants that unit tests cannot see (cycle
+accounting consistency, override hygiene, accuracy ordering).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cim import (
+    CimAccelerator,
+    CostModel,
+    DeviceConfig,
+    EnduranceModel,
+    MappingConfig,
+)
+from repro.core import (
+    SwimConfig,
+    SwimScorer,
+    WeightSpace,
+    evaluate_accuracy,
+    nwc_to_reach,
+    selective_write_verify,
+)
+from repro.utils.rng import RngStream
+
+
+def test_full_pipeline(trained_lenet):
+    model, data, clean = trained_lenet
+    rng = RngStream(909).child("pipeline")
+    mapping = MappingConfig(weight_bits=4, device=DeviceConfig(bits=4, sigma=0.15))
+    accelerator = CimAccelerator(model, mapping_config=mapping)
+
+    # 1. Algorithm 1 meets a 3% target with a partial selection.
+    result = selective_write_verify(
+        model, accelerator, SwimScorer(max_batches=2),
+        data.test_x[:200], data.test_y[:200],
+        baseline_accuracy=clean,
+        config=SwimConfig(delta_a=0.03, granularity=0.05),
+        rng=rng,
+        sense_x=data.train_x[:256], sense_y=data.train_y[:256],
+    )
+    assert result.met_target
+    assert 0.0 <= result.achieved_nwc <= 1.0
+
+    # 2. Cycle accounting is self-consistent: the achieved NWC equals
+    #    selected cycles over this run's total.
+    cycles = accelerator.weight_cycles()
+    total = accelerator.total_cycles()
+    assert total == sum(int(c.sum()) for c in cycles.values())
+
+    # 3. The NWC trace is exploitable by the pareto tools.
+    reach = nwc_to_reach(result.nwc_history, result.accuracy_history,
+                         clean - 0.03)
+    assert reach is not None and reach <= result.achieved_nwc + 1e-9
+
+    # 4. Physical cost and wear reports are finite and sensible.
+    report = CostModel().speedup_report(
+        accelerator.num_weights(), max(result.achieved_nwc, 1e-3)
+    )
+    assert report["saved_seconds"] >= 0
+    flat_cycles = np.concatenate([c.reshape(-1) for c in cycles.values()])
+    mask = np.zeros(flat_cycles.size, dtype=bool)
+    mask[: int(result.selected_fraction * flat_cycles.size)] = True
+    wear = EnduranceModel().compare_selection(flat_cycles, mask)
+    assert wear["lifetime_gain"] >= 1.0
+
+    # 5. Deployed accuracy ordering: none <= partial (SWIM) <= all, up to
+    #    noise slack on a single draw.
+    accelerator.apply_none()
+    floor = evaluate_accuracy(model, data.test_x[:200], data.test_y[:200])
+    accelerator.apply_all()
+    ceiling = evaluate_accuracy(model, data.test_x[:200], data.test_y[:200])
+    assert result.achieved_accuracy >= floor - 0.02
+    assert result.achieved_accuracy <= ceiling + 0.02
+
+    # 6. Clearing restores the float model exactly.
+    accelerator.clear()
+    restored = evaluate_accuracy(model, data.test_x[:200], data.test_y[:200])
+    assert restored == pytest.approx(
+        evaluate_accuracy(model, data.test_x[:200], data.test_y[:200])
+    )
+    for layer in accelerator._layers.values():
+        assert layer.weight_override is None

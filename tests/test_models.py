@@ -1,0 +1,120 @@
+"""Model zoo topologies: shapes, parameter counts, quantization hooks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.models import convnet, lenet, mlp, resnet18
+from repro.nn.quant import ActQuant
+
+
+def _forward_backward(model, x, num_classes, rng):
+    from repro.nn.losses import CrossEntropyLoss
+
+    out = model(x)
+    assert out.shape == (x.shape[0], num_classes)
+    loss = CrossEntropyLoss()
+    loss(out, rng.child("y").integers(0, num_classes, size=x.shape[0]))
+    model.zero_grad()
+    model.backward(loss.backward())
+    model.backward_second(loss.second())
+    for _, p in model.named_parameters():
+        assert np.all(np.isfinite(p.grad))
+        assert np.all(np.isfinite(p.curvature))
+    return out
+
+
+def test_lenet_shapes_and_passes(rng):
+    model = lenet(rng.child("m"))
+    x = rng.child("x").normal(size=(2, 1, 28, 28)).astype(np.float32)
+    _forward_backward(model, x, 10, rng)
+
+
+def test_lenet_parameter_count_classic(rng):
+    model = lenet(rng.child("m"))
+    # Classic LeNet-5 on 28x28: ~61.7k parameters.
+    assert 55000 < model.num_parameters() < 70000
+
+
+def test_lenet_rejects_small_images(rng):
+    with pytest.raises(ValueError, match="image_size"):
+        lenet(rng.child("m"), image_size=8)
+
+
+def test_lenet_act_quant_insertion(rng):
+    model = lenet(rng.child("m"), act_bits=4)
+    quants = [m for m in model.modules() if isinstance(m, ActQuant)]
+    assert len(quants) == 4  # after each of the four ReLUs
+
+
+def test_convnet_shapes_and_passes(rng):
+    model = convnet(rng.child("m"), width_mult=0.1)
+    model.train()
+    x = rng.child("x").normal(size=(2, 3, 32, 32)).astype(np.float32)
+    _forward_backward(model, x, 10, rng)
+
+
+def test_convnet_full_width_parameter_count(rng):
+    """Full-width VGG-8 layout lands at ~13M mapped weights.
+
+    The paper quotes 6.4e6 for its (unspecified) NeuroSim ConvNet; the
+    discrepancy is an architecture-detail difference documented in
+    EXPERIMENTS.md, not a width knob.
+    """
+    model = convnet(rng.child("m"), width_mult=1.0)
+    mapped = sum(
+        p.size for name, p in model.named_parameters()
+        if name.endswith(".weight") and p.data.ndim > 1
+    )
+    assert 1.0e7 < mapped < 1.6e7
+
+
+def test_convnet_rejects_bad_image_size(rng):
+    with pytest.raises(ValueError, match="divisible"):
+        convnet(rng.child("m"), image_size=30)
+
+
+def test_resnet18_shapes_and_passes(rng):
+    model = resnet18(rng.child("m"), width_mult=0.125)
+    model.train()
+    x = rng.child("x").normal(size=(2, 3, 32, 32)).astype(np.float32)
+    _forward_backward(model, x, 10, rng)
+
+
+def test_resnet18_full_width_parameter_count(rng):
+    """Paper reports 1.12e7 weights for ResNet-18."""
+    model = resnet18(rng.child("m"), width_mult=1.0)
+    assert 1.0e7 < model.num_parameters() < 1.3e7
+
+
+def test_resnet18_handles_tiny_imagenet_inputs(rng):
+    model = resnet18(rng.child("m"), width_mult=0.125, num_classes=20)
+    model.eval()
+    x = rng.child("x").normal(size=(2, 3, 64, 64)).astype(np.float32)
+    out = model(x)
+    assert out.shape == (2, 20)
+
+
+def test_resnet_block_count(rng):
+    from repro.nn.models import BasicBlock
+
+    model = resnet18(rng.child("m"), width_mult=0.125)
+    blocks = [m for m in model.modules() if isinstance(m, BasicBlock)]
+    assert len(blocks) == 8  # (2, 2, 2, 2)
+
+
+def test_mlp_validation(rng):
+    with pytest.raises(ValueError, match="at least"):
+        mlp(rng.child("m"), (4,))
+    with pytest.raises(ValueError, match="activation"):
+        mlp(rng.child("m"), (4, 2), activation="swish")
+
+
+def test_models_deterministic_given_stream():
+    from repro.utils.rng import RngStream
+
+    a = lenet(RngStream(1).child("m"))
+    b = lenet(RngStream(1).child("m"))
+    for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+        np.testing.assert_array_equal(pa.data, pb.data)

@@ -1,0 +1,140 @@
+"""Module infrastructure: traversal, modes, state dicts with buffers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import BatchNorm2d, Conv2d, Linear, ReLU, Sequential
+from repro.nn.models import lenet, resnet18
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+from repro.nn.quant import ActQuant
+
+
+def test_parameter_registration(rng):
+    layer = Linear(3, 2, rng=rng.child("l"))
+    names = [name for name, _ in layer.named_parameters()]
+    assert names == ["weight", "bias"]
+
+
+def test_nested_names(rng):
+    model = Sequential(
+        Linear(3, 4, rng=rng.child("a")), ReLU(), Linear(4, 2, rng=rng.child("b"))
+    )
+    names = [name for name, _ in model.named_parameters()]
+    assert names == ["0.weight", "0.bias", "2.weight", "2.bias"]
+
+
+def test_named_modules_paths(rng):
+    model = Sequential(Linear(3, 4, rng=rng.child("a")), ReLU())
+    paths = [name for name, _ in model.named_modules()]
+    assert paths == ["", "0", "1"]
+
+
+def test_train_eval_recursive(rng):
+    model = Sequential(Conv2d(1, 2, 3, rng=rng.child("c")), BatchNorm2d(2))
+    model.eval()
+    assert all(not m.training for m in model.modules())
+    model.train()
+    assert all(m.training for m in model.modules())
+
+
+def test_num_parameters_counts(rng):
+    model = Sequential(Linear(3, 4, rng=rng.child("a")))
+    assert model.num_parameters() == 3 * 4 + 4
+
+
+def test_state_dict_roundtrip_with_buffers(rng):
+    bn = BatchNorm2d(3)
+    aq = ActQuant(bits=4)
+    model = Sequential(Conv2d(2, 3, 3, rng=rng.child("c")), bn, ReLU(), aq)
+    model.train()
+    x = rng.child("x").normal(size=(4, 2, 5, 5)).astype(np.float32)
+    model(x)  # populate running stats and quantizer peak
+    state = model.state_dict()
+    assert any(key.startswith("buffer::") for key in state)
+
+    clone = Sequential(
+        Conv2d(2, 3, 3, rng=rng.child("c2")), BatchNorm2d(3), ReLU(),
+        ActQuant(bits=4),
+    )
+    clone.load_state_dict(state)
+    np.testing.assert_allclose(clone[1].running_mean, bn.running_mean)
+    np.testing.assert_allclose(clone[1].running_var, bn.running_var)
+    assert clone[3].running_peak == pytest.approx(aq.running_peak)
+    for (_, a), (_, b) in zip(model.named_parameters(), clone.named_parameters()):
+        np.testing.assert_array_equal(a.data, b.data)
+
+
+def test_state_dict_mismatch_raises(rng):
+    model = Sequential(Linear(3, 2, rng=rng.child("l")))
+    state = model.state_dict()
+    del state["0.bias"]
+    with pytest.raises(KeyError, match="missing"):
+        model.load_state_dict(state)
+    state = model.state_dict()
+    state["extra"] = np.zeros(1)
+    with pytest.raises(KeyError, match="unexpected"):
+        model.load_state_dict(state)
+
+
+def test_eval_reproducibility_after_reload(rng):
+    """A trained-ish model reloaded from its state dict computes the same
+    outputs — the property the model-zoo cache depends on."""
+    from repro.utils.rng import RngStream
+
+    model = lenet(RngStream(3).child("m"), conv_channels=(3, 6),
+                  fc_features=(24, 16), act_bits=4)
+    model.train()
+    x = rng.child("x").normal(size=(8, 1, 28, 28)).astype(np.float32)
+    model(x)
+    model.eval()
+    want = model(x)
+
+    clone = lenet(RngStream(4).child("m"), conv_channels=(3, 6),
+                  fc_features=(24, 16), act_bits=4)
+    clone.load_state_dict(model.state_dict())
+    clone.eval()
+    np.testing.assert_allclose(clone(x), want, atol=1e-6)
+
+
+def test_zero_grad_and_curvature(rng):
+    model = Sequential(Linear(3, 2, rng=rng.child("l")))
+    param = model[0].weight
+    param.accumulate_grad(np.ones_like(param.data))
+    param.accumulate_curvature(np.ones_like(param.data))
+    model.zero_grad()
+    model.zero_curvature()
+    np.testing.assert_array_equal(param.grad, 0)
+    np.testing.assert_array_equal(param.curvature, 0)
+
+
+def test_register_module_type_checked():
+    class Holder(Module):
+        pass
+
+    holder = Holder()
+    with pytest.raises(TypeError, match="Module"):
+        holder.register_module("x", object())
+
+
+def test_register_buffer_requires_existing_attribute():
+    class Holder(Module):
+        pass
+
+    holder = Holder()
+    with pytest.raises(AttributeError):
+        holder.register_buffer_name("nope")
+
+
+def test_resnet_parameter_count_scales_with_width(rng):
+    small = resnet18(rng.child("s"), width_mult=0.125)
+    big = resnet18(rng.child("b"), width_mult=0.25)
+    assert big.num_parameters() > small.num_parameters() * 2
+
+
+def test_parameter_copy_shape_checked():
+    param = Parameter(np.zeros((2, 3)))
+    with pytest.raises(ValueError, match="shape"):
+        param.copy_(np.zeros((3, 2)))

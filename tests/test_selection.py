@@ -1,0 +1,131 @@
+"""WeightSpace indexing, ranking rules, and granularity grouping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.selection import WeightSpace, cumulative_groups, rank_descending
+from repro.nn.models import lenet, mlp
+
+
+def test_weight_space_from_model_covers_weights(rng):
+    model = lenet(rng.child("m"))
+    space = WeightSpace.from_model(model)
+    params = dict(model.named_parameters())
+    want = sum(params[name].size for name in space.names)
+    assert space.total_size == want
+    assert all(name.endswith(".weight") for name in space.names)
+
+
+def test_flatten_unflatten_roundtrip(rng):
+    model = mlp(rng.child("m"), (6, 8, 4))
+    space = WeightSpace.from_model(model)
+    flat = rng.child("v").normal(size=space.total_size)
+    tensors = space.unflatten(flat)
+    np.testing.assert_array_equal(space.flatten(tensors), flat)
+
+
+def test_flatten_validates_shapes(rng):
+    model = mlp(rng.child("m"), (6, 8, 4))
+    space = WeightSpace.from_model(model)
+    bad = {name: np.zeros((1,)) for name in space.names}
+    with pytest.raises(ValueError, match="shape"):
+        space.flatten(bad)
+
+
+def test_unflatten_validates_length(rng):
+    model = mlp(rng.child("m"), (6, 8, 4))
+    space = WeightSpace.from_model(model)
+    with pytest.raises(ValueError, match="shape"):
+        space.unflatten(np.zeros(space.total_size + 1))
+
+
+def test_masks_from_indices_selects_exactly(rng):
+    model = mlp(rng.child("m"), (6, 8, 4))
+    space = WeightSpace.from_model(model)
+    indices = np.array([0, 5, space.total_size - 1])
+    masks = space.masks_from_indices(indices)
+    flat = space.flatten({k: v.astype(np.float64) for k, v in masks.items()})
+    assert flat.sum() == 3
+    assert flat[0] == 1 and flat[5] == 1 and flat[-1] == 1
+
+
+def test_gather_from_model_matches_parameters(rng):
+    model = mlp(rng.child("m"), (6, 8, 4))
+    space = WeightSpace.from_model(model)
+    flat = space.gather_from_model(model, "data")
+    params = dict(model.named_parameters())
+    want = np.concatenate([params[n].data.reshape(-1) for n in space.names])
+    np.testing.assert_array_equal(flat, want)
+
+
+def test_rank_descending_orders_scores():
+    order = rank_descending(np.array([0.1, 3.0, 2.0]))
+    np.testing.assert_array_equal(order, [1, 2, 0])
+
+
+def test_rank_descending_tie_break_by_magnitude():
+    """Paper Sec. 3.2: equal curvature -> larger magnitude first."""
+    scores = np.array([1.0, 1.0, 1.0, 2.0])
+    magnitude = np.array([0.5, 2.0, 1.0, 0.1])
+    order = rank_descending(scores, tie_break=magnitude)
+    np.testing.assert_array_equal(order, [3, 1, 2, 0])
+
+
+def test_rank_descending_tie_break_shape_checked():
+    with pytest.raises(ValueError, match="tie_break"):
+        rank_descending(np.zeros(3), tie_break=np.zeros(4))
+
+
+def test_cumulative_groups_five_percent():
+    order = np.arange(100)
+    groups = list(cumulative_groups(order, 0.05))
+    assert len(groups) == 20
+    assert groups[0].size == 5
+    assert groups[-1].size == 100
+    np.testing.assert_array_equal(groups[2], np.arange(15))
+
+
+def test_cumulative_groups_final_partial():
+    order = np.arange(13)
+    groups = list(cumulative_groups(order, 0.4))
+    sizes = [g.size for g in groups]
+    assert sizes == [5, 10, 13]
+
+
+def test_cumulative_groups_validates_granularity():
+    with pytest.raises(ValueError, match="granularity"):
+        list(cumulative_groups(np.arange(5), 0.0))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=300),
+    granularity=st.floats(min_value=0.01, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=10000),
+)
+def test_cumulative_groups_properties(n, granularity, seed):
+    """Groups are prefixes, strictly growing, and end with everything."""
+    order = np.random.default_rng(seed).permutation(n)
+    groups = list(cumulative_groups(order, granularity))
+    assert groups[-1].size == n
+    previous = 0
+    for group in groups:
+        assert group.size > previous
+        np.testing.assert_array_equal(group, order[: group.size])
+        previous = group.size
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10000))
+def test_rank_descending_is_permutation(seed):
+    gen = np.random.default_rng(seed)
+    scores = gen.normal(size=50)
+    ties = gen.normal(size=50)
+    order = rank_descending(scores, tie_break=np.abs(ties))
+    assert sorted(order) == list(range(50))
+    ranked = scores[order]
+    assert np.all(np.diff(ranked) <= 1e-12)

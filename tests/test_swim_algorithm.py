@@ -1,0 +1,182 @@
+"""Algorithm 1 and the NWC sweep: end-to-end behaviour on a trained model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cim import CimAccelerator, DeviceConfig, MappingConfig
+from repro.core import (
+    MagnitudeScorer,
+    RandomScorer,
+    SwimConfig,
+    SwimScorer,
+    WeightSpace,
+    selective_write_verify,
+    sweep_nwc,
+)
+from repro.nn import evaluate_accuracy
+from repro.utils.rng import RngStream
+
+
+@pytest.fixture
+def mapped(trained_lenet):
+    model, data, clean = trained_lenet
+    config = MappingConfig(weight_bits=4, device=DeviceConfig(bits=4, sigma=0.15))
+    accelerator = CimAccelerator(model, mapping_config=config)
+    yield model, data, clean, accelerator
+    accelerator.clear()
+
+
+def test_swim_config_validation():
+    with pytest.raises(ValueError, match="delta_a"):
+        SwimConfig(delta_a=-1)
+    with pytest.raises(ValueError, match="granularity"):
+        SwimConfig(granularity=0.0)
+
+
+def test_algorithm1_meets_target_with_partial_selection(mapped):
+    model, data, clean, accelerator = mapped
+    rng = RngStream(10)
+    result = selective_write_verify(
+        model,
+        accelerator,
+        SwimScorer(max_batches=2),
+        data.test_x[:200],
+        data.test_y[:200],
+        baseline_accuracy=clean,
+        config=SwimConfig(delta_a=0.02, granularity=0.05),
+        rng=rng,
+        sense_x=data.train_x[:256],
+        sense_y=data.train_y[:256],
+    )
+    assert result.met_target
+    assert result.selected_fraction < 1.0
+    assert 0.0 <= result.achieved_nwc <= 1.0
+    assert len(result.accuracy_history) == len(result.nwc_history)
+
+
+def test_algorithm1_requires_rng(mapped):
+    model, data, clean, accelerator = mapped
+    with pytest.raises(ValueError, match="rng"):
+        selective_write_verify(
+            model, accelerator, SwimScorer(), data.test_x, data.test_y,
+            baseline_accuracy=clean,
+        )
+
+
+def test_algorithm1_nwc_history_monotone(mapped):
+    model, data, clean, accelerator = mapped
+    rng = RngStream(11)
+    result = selective_write_verify(
+        model,
+        accelerator,
+        RandomScorer(),
+        data.test_x[:200],
+        data.test_y[:200],
+        baseline_accuracy=clean,
+        config=SwimConfig(delta_a=0.01, granularity=0.1),
+        rng=rng,
+    )
+    assert all(b >= a for a, b in zip(result.nwc_history, result.nwc_history[1:]))
+
+
+def test_algorithm1_impossible_target_verifies_everything(mapped):
+    """delta_a = -0.1 can never be met -> loop exhausts all groups."""
+    model, data, clean, accelerator = mapped
+    rng = RngStream(12)
+    config = SwimConfig.__new__(SwimConfig)  # bypass validation for the probe
+    object.__setattr__(config, "delta_a", 0.0)
+    object.__setattr__(config, "granularity", 0.25)
+    object.__setattr__(config, "eval_batch_size", 256)
+    result = selective_write_verify(
+        model, accelerator, SwimScorer(max_batches=1),
+        data.test_x[:100], data.test_y[:100],
+        baseline_accuracy=1.01,  # unreachable accuracy
+        config=config, rng=rng,
+    )
+    assert result.selected_fraction == pytest.approx(1.0)
+    assert not result.met_target
+
+
+def test_sweep_endpoints_match_apply_none_and_all(mapped):
+    model, data, clean, accelerator = mapped
+    rng = RngStream(13)
+    space = WeightSpace.from_model(model)
+    scorer = SwimScorer(max_batches=1)
+    accelerator.clear()
+    order = scorer.ranking(model, space, data.train_x[:128], data.train_y[:128])
+    accs, nwc = sweep_nwc(
+        model, accelerator, order, space,
+        data.test_x[:200], data.test_y[:200],
+        (0.0, 1.0), rng.child("sweep"),
+    )
+    assert nwc[0] == 0.0
+    assert nwc[1] == 1.0
+    # NWC=1.0 must match the fully verified deployment accuracy.
+    accelerator.apply_all()
+    full = evaluate_accuracy(model, data.test_x[:200], data.test_y[:200])
+    assert accs[1] == pytest.approx(full)
+
+
+def test_sweep_achieved_nwc_tracks_targets(mapped):
+    model, data, clean, accelerator = mapped
+    rng = RngStream(14)
+    space = WeightSpace.from_model(model)
+    order = RandomScorer().ranking(
+        model, space, None, None, rng=rng.child("rank")
+    )
+    targets = (0.0, 0.25, 0.5, 0.75, 1.0)
+    _, achieved = sweep_nwc(
+        model, accelerator, order, space,
+        data.test_x[:100], data.test_y[:100],
+        targets, rng.child("sweep"),
+    )
+    # Random selection: cycle share ~ weight share.
+    np.testing.assert_allclose(achieved, targets, atol=0.08)
+
+
+def test_swim_beats_random_at_low_nwc(mapped):
+    """The headline claim, averaged over a few Monte Carlo draws."""
+    model, data, clean, accelerator = mapped
+    space = WeightSpace.from_model(model)
+    root = RngStream(15)
+    accelerator.clear()
+    swim_order = SwimScorer(max_batches=2).ranking(
+        model, space, data.train_x[:256], data.train_y[:256]
+    )
+    swim_accs = []
+    random_accs = []
+    for run in range(4):
+        random_order = RandomScorer().ranking(
+            model, space, None, None, rng=root.child("rand-order", run)
+        )
+        a_swim, _ = sweep_nwc(
+            model, accelerator, swim_order, space,
+            data.test_x[:200], data.test_y[:200], (0.1,),
+            root.child("swim", run),
+        )
+        a_rand, _ = sweep_nwc(
+            model, accelerator, random_order, space,
+            data.test_x[:200], data.test_y[:200], (0.1,),
+            root.child("rand", run),
+        )
+        swim_accs.append(a_swim[0])
+        random_accs.append(a_rand[0])
+    assert np.mean(swim_accs) > np.mean(random_accs) + 0.01
+
+
+def test_overrides_do_not_touch_ideal_weights(mapped):
+    model, data, clean, accelerator = mapped
+    before = {n: p.data.copy() for n, p in model.named_parameters()}
+    rng = RngStream(16)
+    selective_write_verify(
+        model, accelerator, MagnitudeScorer(),
+        data.test_x[:100], data.test_y[:100],
+        baseline_accuracy=clean,
+        config=SwimConfig(delta_a=0.05, granularity=0.2),
+        rng=rng,
+    )
+    accelerator.clear()
+    for name, param in model.named_parameters():
+        np.testing.assert_array_equal(param.data, before[name])

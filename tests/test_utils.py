@@ -1,0 +1,206 @@
+"""Utilities: RNG streams, statistics, tables, plots, serialization, cache."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.ascii_plot import line_plot, scatter_plot
+from repro.utils.cache import ArtifactCache, config_key
+from repro.utils.rng import RngStream, derive_seed
+from repro.utils.serialization import load_state_dict, save_state_dict
+from repro.utils.stats import (
+    bootstrap_mean_ci,
+    pearson,
+    running_mean_converged,
+    spearman,
+    summarize,
+)
+from repro.utils.tables import Table, format_markdown, format_table
+
+
+# ------------------------------------------------------------------ rng
+
+def test_same_path_same_stream():
+    root = RngStream(7)
+    a = root.child("x", 1).normal(size=4)
+    b = RngStream(7).child("x", 1).normal(size=4)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_different_paths_independent():
+    root = RngStream(7)
+    a = root.child("x", 1).normal(size=100)
+    b = root.child("x", 2).normal(size=100)
+    assert abs(pearson(a, b)) < 0.5
+
+
+def test_child_unaffected_by_draw_order():
+    root_a = RngStream(9)
+    root_a.child("first").normal(size=10)  # consume some entropy
+    late = root_a.child("target").normal(size=4)
+    early = RngStream(9).child("target").normal(size=4)
+    np.testing.assert_array_equal(late, early)
+
+
+def test_derive_seed_stable_and_distinct():
+    assert derive_seed(1, "a") == derive_seed(1, "a")
+    assert derive_seed(1, "a") != derive_seed(1, "b")
+    assert derive_seed(1, "a") != derive_seed(2, "a")
+
+
+def test_child_requires_path():
+    with pytest.raises(ValueError):
+        RngStream(1).child()
+
+
+# ---------------------------------------------------------------- stats
+
+def test_summarize_basics():
+    stat = summarize([1.0, 2.0, 3.0])
+    assert stat.mean == pytest.approx(2.0)
+    assert stat.n == 3
+    assert "±" in str(stat)
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+def test_pearson_known_values():
+    x = np.arange(10.0)
+    assert pearson(x, 2 * x + 1) == pytest.approx(1.0)
+    assert pearson(x, -x) == pytest.approx(-1.0)
+    assert pearson(x, np.ones(10)) == 0.0
+
+
+def test_spearman_monotone_invariance():
+    x = np.array([1.0, 2.0, 3.0, 4.0])
+    assert spearman(x, np.exp(x)) == pytest.approx(1.0)
+
+
+def test_bootstrap_ci_contains_mean():
+    values = np.random.default_rng(0).normal(5.0, 1.0, size=200)
+    low, high = bootstrap_mean_ci(values, seed=1)
+    assert low < values.mean() < high
+    assert high - low < 1.0
+
+
+def test_running_mean_convergence_detects():
+    steady = np.concatenate([np.random.default_rng(0).normal(1, 0.5, 20),
+                             np.full(80, 1.0)])
+    assert running_mean_converged(steady, rel_tol=0.05)
+    assert not running_mean_converged(np.arange(100.0), rel_tol=0.01)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10000))
+def test_pearson_bounds_property(seed):
+    gen = np.random.default_rng(seed)
+    x = gen.normal(size=30)
+    y = gen.normal(size=30)
+    assert -1.0 - 1e-9 <= pearson(x, y) <= 1.0 + 1e-9
+
+
+# ---------------------------------------------------------------- tables
+
+def test_table_render_aligns():
+    table = Table(["a", "bb"], title="T")
+    table.add_row([1, "xyz"])
+    table.add_separator()
+    table.add_row(["22", "y"])
+    text = table.render()
+    assert "T" in text and "xyz" in text
+    widths = {len(line) for line in text.splitlines()[2:]}
+    assert len(widths) == 1  # all body lines equal width
+
+
+def test_table_rejects_bad_row():
+    table = Table(["a", "b"])
+    with pytest.raises(ValueError):
+        table.add_row([1])
+
+
+def test_markdown_and_csv():
+    table = Table(["a", "b"])
+    table.add_row(["1", "2,3"])
+    md = table.render_markdown()
+    assert md.startswith("| a | b |")
+    csv = table.to_csv()
+    assert "2;3" in csv  # comma escaped
+
+
+def test_format_helpers_direct():
+    text = format_table(["h"], [["v"], None])
+    assert "h" in text
+    md = format_markdown(["h"], [["v"]], title="X")
+    assert "### X" in md
+
+
+# ----------------------------------------------------------------- plots
+
+def test_line_plot_contains_markers():
+    text = line_plot({"s1": ([0, 1, 2], [0, 1, 4]),
+                      "s2": ([0, 1, 2], [4, 1, 0])},
+                     width=40, height=10, title="demo")
+    assert "demo" in text
+    assert "legend" in text
+    assert "o" in text and "x" in text
+
+
+def test_scatter_plot_runs():
+    text = scatter_plot([1, 2, 3], [3, 1, 2], width=30, height=8)
+    assert "legend" in text
+
+
+def test_line_plot_rejects_empty():
+    with pytest.raises(ValueError):
+        line_plot({})
+
+
+# --------------------------------------------------------- serialization
+
+def test_state_dict_roundtrip(tmp_path):
+    path = os.path.join(tmp_path, "model.npz")
+    state = {"w": np.arange(6).reshape(2, 3), "b": np.zeros(3)}
+    save_state_dict(path, state, meta={"accuracy": 0.93})
+    loaded, meta = load_state_dict(path)
+    np.testing.assert_array_equal(loaded["w"], state["w"])
+    assert meta["accuracy"] == 0.93
+
+
+def test_reserved_key_rejected(tmp_path):
+    with pytest.raises(ValueError, match="reserved"):
+        save_state_dict(os.path.join(tmp_path, "x.npz"),
+                        {"__meta_json__": np.zeros(1)})
+
+
+# ----------------------------------------------------------------- cache
+
+def test_cache_get_or_create(tmp_path):
+    cache = ArtifactCache(root=str(tmp_path), namespace="t")
+    calls = []
+
+    def producer():
+        calls.append(1)
+        return {"v": np.ones(3)}
+
+    def saver(path, artifact):
+        save_state_dict(path, artifact)
+
+    def loader(path):
+        return load_state_dict(path)[0]
+
+    config = {"a": 1}
+    first = cache.get_or_create(config, producer, loader, saver)
+    second = cache.get_or_create(config, producer, loader, saver)
+    assert len(calls) == 1
+    np.testing.assert_array_equal(first["v"], second["v"])
+    assert cache.has(config)
+
+
+def test_config_key_stable_and_distinct():
+    assert config_key({"a": 1, "b": 2}) == config_key({"b": 2, "a": 1})
+    assert config_key({"a": 1}) != config_key({"a": 2})

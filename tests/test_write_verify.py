@@ -1,0 +1,129 @@
+"""Write-verify loop: convergence, tolerance, cycle statistics (Sec. 4.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cim.device import DeviceConfig
+from repro.cim.noise import ResidualModel
+from repro.cim.write_verify import WriteVerifyConfig, calibrate_alpha, write_verify
+
+
+@pytest.fixture
+def device():
+    return DeviceConfig(bits=4, sigma=0.1)
+
+
+def _run(device, config, n=20000, seed=0):
+    gen = np.random.default_rng(seed)
+    targets = gen.uniform(0, device.max_level, size=n)
+    initial = device.program(targets, gen)
+    return targets, write_verify(targets, initial, device, config, gen)
+
+
+def test_all_devices_converge_within_tolerance(device):
+    config = WriteVerifyConfig()
+    targets, result = _run(device, config)
+    assert bool(result.converged.all())
+    errors = np.abs(result.levels - targets) / device.max_level
+    assert errors.max() <= config.tolerance + 1e-12
+
+
+def test_mean_cycles_near_paper_calibration(device):
+    """Paper Sec. 4.1: ~10 average cycles at sigma=0.1, tolerance=0.06."""
+    _, result = _run(device, WriteVerifyConfig())
+    assert 7.0 <= result.mean_cycles <= 13.0
+
+
+def test_post_verify_residual_well_below_initial_sigma(device):
+    """Write-verify shrinks the weight deviation from 10% FS to < 5% FS."""
+    config = WriteVerifyConfig()
+    targets, result = _run(device, config)
+    residual = (result.levels - targets) / device.max_level
+    assert residual.std() < 0.05
+    assert residual.std() < 0.5 * device.sigma
+
+
+def test_some_devices_need_no_rewrite(device):
+    """Paper: "some may not need rewrite at all; others need a lot"."""
+    _, result = _run(device, WriteVerifyConfig())
+    assert (result.cycles == 0).mean() > 0.2
+    assert result.cycles.max() > 15
+
+
+def test_zero_cycles_when_already_converged(device):
+    config = WriteVerifyConfig()
+    targets = np.full(100, 7.0)
+    result = write_verify(targets, targets.copy(), device, config,
+                          np.random.default_rng(0))
+    assert result.cycles.sum() == 0
+    assert bool(result.converged.all())
+
+
+def test_larger_sigma_needs_more_cycles(device):
+    config = WriteVerifyConfig()
+    _, low = _run(device.with_sigma(0.1), config, seed=1)
+    _, high = _run(device.with_sigma(0.2), config, seed=1)
+    assert high.mean_cycles > low.mean_cycles
+
+
+def test_tighter_tolerance_needs_more_cycles(device):
+    _, loose = _run(device, WriteVerifyConfig(tolerance=0.1), seed=2)
+    _, tight = _run(device, WriteVerifyConfig(tolerance=0.03), seed=2)
+    assert tight.mean_cycles > loose.mean_cycles
+
+
+def test_calibrate_alpha_hits_target(device):
+    alpha, achieved = calibrate_alpha(device, target_mean_cycles=10.0,
+                                      n_devices=8000)
+    assert achieved == pytest.approx(10.0, abs=1.5)
+    assert 0.005 < alpha < 0.2
+
+
+def test_max_pulses_bounds_loop(device):
+    """With absurdly weak pulses the loop terminates at max_pulses."""
+    config = WriteVerifyConfig(alpha=0.005, pulse_sigma=0.0, max_pulses=5)
+    targets, result = _run(device, config, n=2000, seed=3)
+    assert result.cycles.max() <= 5
+
+
+def test_deterministic_given_seed(device):
+    config = WriteVerifyConfig()
+    gen_a = np.random.default_rng(7)
+    gen_b = np.random.default_rng(7)
+    targets = np.linspace(0, device.max_level, 500)
+    initial = device.program(targets, np.random.default_rng(8))
+    res_a = write_verify(targets, initial, device, config, gen_a)
+    res_b = write_verify(targets, initial, device, config, gen_b)
+    np.testing.assert_array_equal(res_a.levels, res_b.levels)
+    np.testing.assert_array_equal(res_a.cycles, res_b.cycles)
+
+
+def test_residual_model_matches_simulation(device):
+    """Fast-path residual sampler reproduces the honest loop's std."""
+    model = ResidualModel.from_simulation(device, n_devices=8192)
+    gen = np.random.default_rng(11)
+    samples = model.sample_levels(50000, gen)
+    assert samples.std() == pytest.approx(model.residual_std_levels(), rel=0.05)
+    tol_levels = WriteVerifyConfig().tolerance * device.max_level
+    assert np.abs(samples).max() <= tol_levels * 1.01
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    sigma=st.floats(min_value=0.02, max_value=0.25),
+    tolerance=st.floats(min_value=0.02, max_value=0.15),
+)
+def test_write_verify_always_within_tolerance(sigma, tolerance):
+    """Property: whatever the operating point, converged devices meet spec."""
+    device = DeviceConfig(bits=4, sigma=sigma)
+    config = WriteVerifyConfig(tolerance=tolerance, max_pulses=500)
+    gen = np.random.default_rng(17)
+    targets = gen.uniform(0, device.max_level, size=500)
+    initial = device.program(targets, gen)
+    result = write_verify(targets, initial, device, config, gen)
+    errors = np.abs(result.levels - targets) / device.max_level
+    assert errors[result.converged].max(initial=0.0) <= tolerance + 1e-9
