@@ -19,6 +19,7 @@ from repro.cim.write_verify import (
     WriteVerifyResult,
     calibrate_alpha,
     write_verify,
+    write_verify_trials,
 )
 
 __all__ = [
@@ -45,4 +46,5 @@ __all__ = [
     "uniform_quantize_midrise",
     "weighted_layer_names",
     "write_verify",
+    "write_verify_trials",
 ]

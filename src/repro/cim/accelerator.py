@@ -17,6 +17,17 @@ the paper builds on).  It supports the full experiment protocol:
 Step 3+4 make the NWC normalization *self-consistent per Monte Carlo run*:
 the denominator is the cycle count this very run would have needed to
 write-verify everything, exactly the paper's normalization.
+
+Trial batching
+--------------
+The ``*_trials`` methods run the same protocol for ``n_trials``
+independent Monte Carlo draws at once: device state is stacked as
+``(num_slices, n_trials) + weight_shape`` per tensor, the verify loop
+advances all trials through one masked pulse loop, and
+``apply_selection_trials`` deploys trial-batched weight overrides (see
+:mod:`repro.nn.layers.base`) plus a per-trial NWC vector.  Programming
+uses one RNG substream per trial, so trial ``i``'s initial conductances
+are bit-identical to what the scalar path draws for run ``i``.
 """
 
 from __future__ import annotations
@@ -24,7 +35,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cim.mapping import MappingConfig, WeightMapper
-from repro.cim.write_verify import WriteVerifyConfig, WriteVerifyResult, write_verify
+from repro.cim.write_verify import (
+    WriteVerifyConfig,
+    WriteVerifyResult,
+    write_verify,
+    write_verify_trials,
+)
 from repro.nn.layers.base import WeightedLayer
 
 __all__ = ["CimAccelerator", "weighted_layer_names"]
@@ -60,6 +76,9 @@ class CimAccelerator:
         self._mapped = None
         self._programmed = None
         self._verified = None
+        self._programmed_trials = None
+        self._verified_trials = None
+        self._n_trials = None
 
     # -------------------------------------------------------------- mapping
 
@@ -219,6 +238,174 @@ class CimAccelerator:
             layer.set_weight_override(
                 self.mapper.ideal_weights(mapped).astype(layer.weight.data.dtype)
             )
+
+    # ------------------------------------------------------- trial batching
+
+    @property
+    def n_trials(self):
+        """Trial count of the current batched state (None when scalar)."""
+        return self._n_trials
+
+    def program_trials(self, trial_rngs):
+        """Initial programming of every device for a stack of trials.
+
+        Parameters
+        ----------
+        trial_rngs:
+            One numpy Generator per trial.  Trial ``i`` draws its noise
+            exactly as a scalar :meth:`program` call with
+            ``trial_rngs[i]`` would, so batched and scalar Monte Carlo
+            runs see bit-identical initial conductances.
+
+        Returns
+        -------
+        dict
+            ``name -> (num_slices, n_trials) + weight_shape`` levels.
+        """
+        self.map_model()
+        n_trials = len(trial_rngs)
+        per_trial = [
+            {
+                name: self.mapper.program_levels(mapped, rng)
+                for name, mapped in self._mapped.items()
+            }
+            for rng in trial_rngs
+        ]
+        self._programmed_trials = {
+            name: np.stack([draw[name] for draw in per_trial], axis=1)
+            for name in self._mapped
+        }
+        self._verified_trials = None
+        self._n_trials = n_trials
+        return self._programmed_trials
+
+    def write_verify_trials(self, rng=None, trial_rngs=None, batched=True):
+        """Verify-loop every device of every trial.
+
+        ``batched=True`` (default) advances all trials through one masked
+        pulse loop per tensor slice, drawing pulse noise from ``rng``.
+        ``batched=False`` runs the reference scalar path: trial ``i``
+        re-uses ``trial_rngs[i]`` so its result is bit-identical to a
+        scalar :meth:`write_verify_all` call for that trial.
+
+        Returns
+        -------
+        dict
+            ``name -> WriteVerifyResult`` with
+            ``(num_slices, n_trials) + weight_shape`` arrays.
+        """
+        if self._programmed_trials is None:
+            raise RuntimeError("program_trials() must run before write_verify_trials()")
+        mapping = self.mapping_config
+        tolerances = mapping.slice_tolerance_levels(self.wv_config.tolerance)
+        full_scales = mapping.slice_max_levels
+        self._verified_trials = {}
+        for name, mapped in self._mapped.items():
+            slice_results = []
+            for i in range(mapping.num_slices):
+                targets = np.broadcast_to(
+                    mapped.levels[i][None, ...],
+                    self._programmed_trials[name][i].shape[:1] + mapped.levels[i].shape,
+                )
+                # The trial axis leads inside write_verify_trials; device
+                # state is stored slice-major, so swap back afterwards.
+                result = write_verify_trials(
+                    targets,
+                    self._programmed_trials[name][i],
+                    mapping.device,
+                    self.wv_config,
+                    rng=rng,
+                    trial_rngs=trial_rngs,
+                    tolerance_levels=tolerances[i],
+                    full_scale=full_scales[i],
+                    batched=batched,
+                )
+                slice_results.append(result)
+            self._verified_trials[name] = WriteVerifyResult(
+                levels=np.stack([r.levels for r in slice_results]),
+                cycles=np.stack([r.cycles for r in slice_results]),
+                converged=np.stack([r.converged for r in slice_results]),
+            )
+        return self._verified_trials
+
+    def weight_cycles_trials(self):
+        """Per-trial per-weight verify cycles: ``name -> (n_trials,)+shape``."""
+        if self._verified_trials is None:
+            raise RuntimeError("write_verify_trials() must run first")
+        return {
+            name: result.cycles.sum(axis=0)
+            for name, result in self._verified_trials.items()
+        }
+
+    def total_cycles_trials(self):
+        """Per-trial NWC denominator, shape ``(n_trials,)``."""
+        cycles = self.weight_cycles_trials()
+        total = np.zeros(self._n_trials, dtype=np.int64)
+        for per_weight in cycles.values():
+            total += per_weight.reshape(self._n_trials, -1).sum(axis=1)
+        return total
+
+    def apply_selection_trials(self, selection_masks, trial_indices=None):
+        """Deploy trial-batched weights: verified where selected, raw else.
+
+        Parameters
+        ----------
+        selection_masks:
+            ``name -> boolean array``, either the weight shape (same
+            selection for every trial) or ``(n_trials,) + weight_shape``
+            (per-trial selections, e.g. the random baseline).  Missing
+            names mean "nothing selected in this tensor".
+        trial_indices:
+            Optional integer index array restricting deployment to a
+            subset of trials (the active-trial mask of Algorithm 1); the
+            returned NWC vector then has that subset's length.
+
+        Returns
+        -------
+        numpy.ndarray
+            Achieved NWC per deployed trial.
+        """
+        if self._verified_trials is None:
+            raise RuntimeError("write_verify_trials() must run first")
+        n_deploy = (
+            self._n_trials if trial_indices is None else len(trial_indices)
+        )
+        spent = np.zeros(n_deploy, dtype=np.int64)
+        total = np.zeros(n_deploy, dtype=np.int64)
+        for name, mapped in self._mapped.items():
+            verified = self._verified_trials[name]
+            programmed = self._programmed_trials[name]
+            if trial_indices is not None:
+                verified_levels = verified.levels[:, trial_indices]
+                cycles = verified.cycles[:, trial_indices].sum(axis=0)
+                programmed = programmed[:, trial_indices]
+            else:
+                verified_levels = verified.levels
+                cycles = verified.cycles.sum(axis=0)
+            total += cycles.reshape(n_deploy, -1).sum(axis=1)
+            mask = selection_masks.get(name)
+            if mask is None:
+                mask = np.zeros(mapped.codes.shape, dtype=bool)
+            else:
+                mask = np.asarray(mask, dtype=bool)
+            if mask.shape == mapped.codes.shape:
+                trial_mask = np.broadcast_to(mask, (n_deploy,) + mask.shape)
+            elif mask.shape[1:] == mapped.codes.shape:
+                trial_mask = (
+                    mask if trial_indices is None else mask[trial_indices]
+                )
+            else:
+                raise ValueError(
+                    f"mask shape {mask.shape} matches neither the weight "
+                    f"shape {mapped.codes.shape} nor a per-trial stack "
+                    f"for {name}"
+                )
+            levels = np.where(trial_mask[None, ...], verified_levels, programmed)
+            weights = self.mapper.readout_weights(mapped, levels)
+            layer = self._layers[name]
+            layer.set_weight_override(weights.astype(layer.weight.data.dtype))
+            spent += np.where(trial_mask, cycles, 0).reshape(n_deploy, -1).sum(axis=1)
+        return np.where(total > 0, spent / np.maximum(total, 1), 0.0)
 
     def deployed_weights(self):
         """Current override arrays per tensor (None when not deployed)."""

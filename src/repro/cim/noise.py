@@ -29,7 +29,7 @@ __all__ = [
 ]
 
 
-def inject_code_noise(codes, config, rng):
+def inject_code_noise(codes, config, rng, n_trials=None):
     """Eq. 16: add the closed-form mapped-code error to integer codes.
 
     Parameters
@@ -40,30 +40,37 @@ def inject_code_noise(codes, config, rng):
         :class:`~repro.cim.mapping.MappingConfig`.
     rng:
         numpy Generator.
+    n_trials:
+        When set, draw that many independent noise realizations in one
+        call and return a stack with a leading ``(n_trials,)`` axis — the
+        trial-batched fast path of :mod:`repro.core.mc`.
 
     Returns
     -------
     numpy.ndarray
-        Float codes ``W_map`` (not rounded — conductance is analog).
+        Float codes ``W_map`` (not rounded — conductance is analog),
+        shape ``codes.shape`` or ``(n_trials,) + codes.shape``.
     """
     codes = np.asarray(codes, dtype=np.float64)
+    shape = codes.shape if n_trials is None else (int(n_trials),) + codes.shape
     std = config.code_noise_std()
     if std == 0:
-        return codes.copy()
-    return codes + rng.normal(0.0, std, size=codes.shape)
+        return codes.copy() if n_trials is None else np.broadcast_to(codes, shape).copy()
+    return codes + rng.normal(0.0, std, size=shape)
 
 
-def inject_weight_noise(weights, config, rng):
+def inject_weight_noise(weights, config, rng, n_trials=None):
     """Quantize a float tensor and return its noisy mapped float values.
 
     Convenience wrapper: quantize to codes, add Eq. 16 noise, dequantize.
-    The returned array has the same shape/dtype domain as ``weights``.
+    The returned array has the same shape/dtype domain as ``weights``
+    (with a leading trial axis when ``n_trials`` is set).
     """
     from repro.cim.mapping import WeightMapper  # local import avoids cycle
 
     mapper = WeightMapper(config)
     codes, scale = mapper.quantize(weights)
-    noisy = inject_code_noise(codes, config, rng)
+    noisy = inject_code_noise(codes, config, rng, n_trials=n_trials)
     return noisy * scale
 
 
@@ -107,15 +114,18 @@ class ResidualModel:
         """Std of the stored residual distribution (level units)."""
         return float(self._sorted.std())
 
-    def apply_to_codes(self, codes, config, rng):
+    def apply_to_codes(self, codes, config, rng, n_trials=None):
         """Sample post-verify residuals for every slice of every weight.
 
         Returns float codes: the desired code plus the bit-slice-weighted
         sum of per-device residuals (the verified analogue of Eq. 16).
+        With ``n_trials`` set, the result carries a leading trial axis of
+        independent residual draws.
         """
         codes = np.asarray(codes, dtype=np.float64)
+        shape = codes.shape if n_trials is None else (int(n_trials),) + codes.shape
         slice_weights = config.slice_weights.astype(np.float64)
-        total = codes.copy()
+        total = codes.copy() if n_trials is None else np.broadcast_to(codes, shape).copy()
         for weight in slice_weights:
-            total = total + weight * self.sample_levels(codes.shape, rng)
+            total = total + weight * self.sample_levels(shape, rng)
         return total

@@ -7,10 +7,12 @@ from repro.core.extensions import (
 )
 from repro.core.hessian_fd import fd_diagonal_hessian, fd_diagonal_hessian_sampled
 from repro.core.insitu import InSituConfig, InSituHistory, InSituTrainer
+from repro.core.mc import MonteCarloEngine
 from repro.core.metrics import (
     DEFAULT_NWC_TARGETS,
     MonteCarloResult,
     evaluate_accuracy,
+    evaluate_accuracy_trials,
     monte_carlo,
 )
 from repro.core.pareto import nwc_to_reach, speedup_at_iso_accuracy, speedup_table
@@ -42,6 +44,7 @@ __all__ = [
     "InSituHistory",
     "InSituTrainer",
     "MagnitudeScorer",
+    "MonteCarloEngine",
     "MonteCarloResult",
     "RandomScorer",
     "SensitivityScorer",
@@ -55,6 +58,7 @@ __all__ = [
     "compute_second_derivatives",
     "cumulative_groups",
     "evaluate_accuracy",
+    "evaluate_accuracy_trials",
     "expected_loss_increase",
     "fd_diagonal_hessian",
     "fd_diagonal_hessian_sampled",

@@ -62,22 +62,39 @@ class WeightSpace:
         return np.concatenate(parts) if parts else np.empty(0)
 
     def unflatten(self, flat):
-        """Split a flat vector back into ``name -> array``."""
+        """Split a flat vector back into ``name -> array``.
+
+        Leading axes are preserved: a ``(n_trials, total_size)`` input
+        yields ``(n_trials,) + shape`` tensors (trial-batched masks).
+        """
         flat = np.asarray(flat)
-        if flat.shape != (self.total_size,):
+        if flat.shape[-1:] != (self.total_size,):
             raise ValueError(
-                f"flat vector has shape {flat.shape}, expected ({self.total_size},)"
+                f"flat vector has shape {flat.shape}, expected a trailing "
+                f"axis of {self.total_size}"
             )
+        lead = flat.shape[:-1]
         out = {}
         for name in self._names:
             start, stop = self._offsets[name]
-            out[name] = flat[start:stop].reshape(self._shapes[name])
+            out[name] = flat[..., start:stop].reshape(lead + self._shapes[name])
         return out
 
     def masks_from_indices(self, indices):
         """Boolean per-tensor masks selecting the given flat indices."""
         flat = np.zeros(self.total_size, dtype=bool)
         flat[np.asarray(indices, dtype=np.int64)] = True
+        return self.unflatten(flat)
+
+    def masks_from_indices_trials(self, indices_per_trial):
+        """Trial-batched masks: one index set per trial.
+
+        Returns ``name -> (n_trials,) + shape`` boolean stacks consumable
+        by :meth:`repro.cim.accelerator.CimAccelerator.apply_selection_trials`.
+        """
+        flat = np.zeros((len(indices_per_trial), self.total_size), dtype=bool)
+        for row, indices in enumerate(indices_per_trial):
+            flat[row, np.asarray(indices, dtype=np.int64)] = True
         return self.unflatten(flat)
 
     def gather_from_model(self, model, attribute="data"):

@@ -7,6 +7,16 @@ correlation — and (b) the weight's second derivative — strong correlation
 (Pearson 0.83).  This driver reproduces both scatters on sampled weights
 and also records the *loss increase*, which is the quantity Eq. 5 actually
 predicts (accuracy drop is a discretized proxy of it).
+
+The Monte Carlo trials run trial-batched by default: every trial of a
+perturbed weight differs from the baseline in exactly one tensor, so the
+activations *upstream* of that tensor's layer are shared by all of its
+trials and are computed once per tensor (prefix sharing), the perturbed
+layer applies all trial weight variants to that shared input in a single
+batched matmul (``forward_multi``), and only the suffix of the network
+runs per-trial (folded trial-major).  ``batched=False`` keeps the scalar
+one-forward-per-trial reference path; both draw identical perturbations
+from the same RNG stream.
 """
 
 from __future__ import annotations
@@ -17,10 +27,14 @@ import numpy as np
 
 from repro.cim import DeviceConfig, MappingConfig, WeightMapper
 from repro.core import SwimScorer, WeightSpace, evaluate_accuracy
+from repro.nn import functional as F
 from repro.nn.losses import CrossEntropyLoss
 from repro.utils.stats import pearson, spearman
 
 __all__ = ["Fig1Config", "Fig1Result", "run_fig1"]
+
+#: Upper bound on folded (trials * eval samples) per batched forward.
+_MAX_FOLD_SAMPLES = 2048
 
 
 @dataclass(frozen=True)
@@ -75,8 +89,93 @@ def _sample_entries(space, n_weights, rng):
     return np.sort(flat)
 
 
-def run_fig1(zoo, config, rng):
+def _perturbation_mc_scalar(model, layers, base_weights, indices, deltas,
+                            locate, eval_x, eval_y, base_accuracy, base_loss,
+                            loss_fn):
+    """Reference path: one full forward per (weight, trial)."""
+    acc_drops = np.empty(indices.size)
+    loss_increases = np.empty(indices.size)
+    for pos, flat_index in enumerate(indices):
+        name, inner = locate(int(flat_index))
+        layer = layers[name]
+        drops = []
+        increases = []
+        for delta in deltas[pos]:
+            # Antithetic +/- pair: the first-order Taylor term g*delta
+            # cancels exactly in the pair average, leaving the curvature
+            # signal 0.5*H*delta^2 that Fig. 1b plots (variance reduction
+            # over the paper's plain Monte Carlo).
+            for signed in (delta, -delta):
+                perturbed = base_weights[name].copy()
+                perturbed.reshape(-1)[inner] += signed
+                layer.set_weight_override(perturbed)
+                logits = model(eval_x)
+                accuracy = float((np.argmax(logits, axis=1) == eval_y).mean())
+                value = loss_fn(logits, eval_y)
+                drops.append(base_accuracy - accuracy)
+                increases.append(value - base_loss)
+        layer.set_weight_override(base_weights[name])
+        acc_drops[pos] = float(np.mean(drops))
+        loss_increases[pos] = float(np.mean(increases))
+    return acc_drops, loss_increases
+
+
+def _trial_stats(logits, eval_y):
+    """Per-trial (accuracy, mean CE loss) from ``(T, N, C)`` logits."""
+    accuracy = (np.argmax(logits, axis=2) == eval_y[None, :]).mean(axis=1)
+    log_probs = F.log_softmax(logits, axis=2)
+    picked = log_probs[:, np.arange(logits.shape[1]), eval_y]
+    return accuracy, -picked.mean(axis=1)
+
+
+def _perturbation_mc_batched(model, layers, base_weights, indices, deltas,
+                             locate, eval_x, eval_y, base_accuracy,
+                             base_loss):
+    """Trial-batched path via :class:`~repro.core.perturbation.PerturbationEvaluator`.
+
+    Weights are grouped by owning tensor; the evaluator shares that
+    tensor's prefix activations across all of its trials, propagates each
+    single-weight perturbation incrementally through its output channel,
+    and only runs the network's tail per trial.
+    """
+    from repro.core.perturbation import PerturbationEvaluator
+
+    mc_runs = deltas.shape[1]
+    trials_per_weight = 2 * mc_runs
+    acc_drops = np.empty(indices.size)
+    loss_increases = np.empty(indices.size)
+
+    by_tensor = {}
+    for pos, flat_index in enumerate(indices):
+        name, inner = locate(int(flat_index))
+        by_tensor.setdefault(name, []).append((pos, inner))
+
+    evaluator = PerturbationEvaluator(
+        model, eval_x, max_fold_samples=_MAX_FOLD_SAMPLES
+    )
+    for name, entries in by_tensor.items():
+        layer = layers[name]
+        inner = np.repeat([e[1] for e in entries], trials_per_weight)
+        signed = np.empty(len(entries) * trials_per_weight)
+        for j, (pos, _) in enumerate(entries):
+            row = j * trials_per_weight
+            signed[row : row + trials_per_weight : 2] = deltas[pos]
+            signed[row + 1 : row + trials_per_weight : 2] = -deltas[pos]
+        logits = evaluator.evaluate(layer, inner, signed)
+        accuracy, losses = _trial_stats(logits, eval_y)
+        for j, (pos, _) in enumerate(entries):
+            window = slice(j * trials_per_weight, (j + 1) * trials_per_weight)
+            acc_drops[pos] = float((base_accuracy - accuracy[window]).mean())
+            loss_increases[pos] = float((losses[window] - base_loss).mean())
+    return acc_drops, loss_increases
+
+
+def run_fig1(zoo, config, rng, batched=True):
     """Run the perturbation study on a trained workload.
+
+    ``batched=True`` (default) evaluates all Monte Carlo perturbations of
+    a weight in one trial-batched pass; ``batched=False`` is the scalar
+    reference loop.  Both consume identical perturbation draws.
 
     Returns
     -------
@@ -168,38 +267,27 @@ def run_fig1(zoo, config, rng):
                 return name, flat_index - start
         raise IndexError(flat_index)
 
-    acc_drops = np.empty(indices.size)
-    loss_increases = np.empty(indices.size)
     noise_rng = rng.child("noise").generator
+    # One row of deltas per sampled weight, drawn in the same stream
+    # order the scalar loop uses, so both paths see identical noise.
+    deltas = np.stack(
+        [
+            noise_rng.normal(0.0, noise_std[locate(int(i))[0]],
+                             size=config.mc_runs)
+            for i in indices
+        ]
+    )
 
-    def measure():
-        """One forward pass: (accuracy, loss) on the eval subset."""
-        logits = model(eval_x)
-        accuracy = float((np.argmax(logits, axis=1) == eval_y).mean())
-        value = loss_fn(logits, eval_y)
-        return accuracy, value
-
-    for pos, flat_index in enumerate(indices):
-        name, inner = locate(int(flat_index))
-        layer = layers[name]
-        drops = []
-        increases = []
-        for _ in range(config.mc_runs):
-            delta = noise_rng.normal(0.0, noise_std[name])
-            # Antithetic +/- pair: the first-order Taylor term g*delta
-            # cancels exactly in the pair average, leaving the curvature
-            # signal 0.5*H*delta^2 that Fig. 1b plots (variance reduction
-            # over the paper's plain Monte Carlo).
-            for signed in (delta, -delta):
-                perturbed = base_weights[name].copy()
-                perturbed.reshape(-1)[inner] += signed
-                layer.set_weight_override(perturbed)
-                accuracy, value = measure()
-                drops.append(base_accuracy - accuracy)
-                increases.append(value - base_loss)
-        layer.set_weight_override(base_weights[name])
-        acc_drops[pos] = float(np.mean(drops))
-        loss_increases[pos] = float(np.mean(increases))
+    if batched:
+        acc_drops, loss_increases = _perturbation_mc_batched(
+            model, layers, base_weights, indices, deltas, locate,
+            eval_x, eval_y, base_accuracy, base_loss,
+        )
+    else:
+        acc_drops, loss_increases = _perturbation_mc_scalar(
+            model, layers, base_weights, indices, deltas, locate,
+            eval_x, eval_y, base_accuracy, base_loss, loss_fn,
+        )
 
     for layer in layers.values():
         layer.clear_weight_override()

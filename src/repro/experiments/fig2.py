@@ -27,8 +27,14 @@ FIG2_WORKLOADS = {
 
 def run_fig2_panel(scale, panel, nwc_targets=DEFAULT_NWC_TARGETS,
                    methods=("swim", "magnitude", "random", "insitu"),
-                   sigma=0.1, seed=2, use_cache=True):
+                   sigma=0.1, seed=2, use_cache=True, batched=True,
+                   processes=None):
     """Run one Fig. 2 panel (``panel`` in {"a", "b", "c"}).
+
+    ``batched`` selects the trial-batched Monte Carlo engine (default);
+    ``processes`` opts into the scalar process-pool fallback instead —
+    the escape hatch for the ResNet panels when the trial-folded
+    activations would not fit in memory.
 
     Returns
     -------
@@ -49,6 +55,8 @@ def run_fig2_panel(scale, panel, nwc_targets=DEFAULT_NWC_TARGETS,
         sense_samples=scale.sense_samples,
         methods=methods,
         insitu_lr=scale.insitu_lr,
+        batched=batched,
+        processes=processes,
     )
 
 

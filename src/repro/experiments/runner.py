@@ -37,21 +37,21 @@ from repro.utils.rng import RngStream
 EXPERIMENTS = ("fig1", "table1", "fig2a", "fig2b", "fig2c", "ablations")
 
 
-def _run_fig1(scale, out_dir):
+def _run_fig1(scale, out_dir, batched=True):
     zoo = load_workload(scale.workload("lenet-digits"))
     config = Fig1Config(
         n_weights=scale.fig1_weights,
         mc_runs=scale.fig1_mc_runs,
         eval_samples=scale.fig1_eval_samples,
     )
-    result = run_fig1(zoo, config, RngStream(101).child("fig1"))
+    result = run_fig1(zoo, config, RngStream(101).child("fig1"), batched=batched)
     print(render_fig1(result, workload=zoo.spec.key))
     path = save_fig1_csv(result, os.path.join(out_dir, "fig1.csv"))
     print(f"[saved {path}]")
 
 
-def _run_table1(scale, out_dir):
-    result = run_table1(scale)
+def _run_table1(scale, out_dir, batched=True, processes=None):
+    result = run_table1(scale, batched=batched, processes=processes)
     print(render_table1(result))
     for sigma, outcome in result.outcomes.items():
         path = save_sweep_csv(
@@ -60,8 +60,8 @@ def _run_table1(scale, out_dir):
         print(f"[saved {path}]")
 
 
-def _run_fig2(scale, out_dir, panel):
-    outcome = run_fig2_panel(scale, panel)
+def _run_fig2(scale, out_dir, panel, batched=True, processes=None):
+    outcome = run_fig2_panel(scale, panel, batched=batched, processes=processes)
     print(render_fig2_panel(outcome, panel))
     path = save_sweep_csv(outcome, os.path.join(out_dir, f"fig2{panel}.csv"))
     print(f"[saved {path}]")
@@ -98,22 +98,32 @@ def main(argv=None):
                         help="smoke | default | full (or REPRO_SCALE)")
     parser.add_argument("--output-dir", default=None,
                         help="directory for CSV artifacts")
+    parser.add_argument("--scalar", action="store_true",
+                        help="use the scalar per-trial Monte Carlo loop "
+                             "instead of the trial-batched engine")
+    parser.add_argument("--processes", type=int, default=None,
+                        help="fan the scalar Monte Carlo loop across N "
+                             "forked workers (for workloads too large to "
+                             "batch in memory; or REPRO_MC_PROCESSES)")
     args = parser.parse_args(argv)
 
     scale = get_scale(args.scale)
     out_dir = results_dir(args.output_dir)
     todo = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    batched = not args.scalar
 
     print(f"# scale preset: {scale.name}")
     for name in todo:
         start = time.time()
         print(f"\n=== {name} ===")
         if name == "fig1":
-            _run_fig1(scale, out_dir)
+            _run_fig1(scale, out_dir, batched=batched)
         elif name == "table1":
-            _run_table1(scale, out_dir)
+            _run_table1(scale, out_dir, batched=batched,
+                        processes=args.processes)
         elif name.startswith("fig2"):
-            _run_fig2(scale, out_dir, name[-1])
+            _run_fig2(scale, out_dir, name[-1], batched=batched,
+                      processes=args.processes)
         elif name == "ablations":
             _run_ablations(scale, out_dir)
         print(f"[{name} took {time.time() - start:.1f}s]")

@@ -4,6 +4,15 @@ One Monte Carlo run programs the devices once and evaluates *every*
 (method, NWC-target) pair against that same noise draw — a paired design
 that reduces the variance of method comparisons, exactly what matters for
 the paper's "who wins at fixed NWC" claims.
+
+By default the Monte Carlo trials run through the trial-batched engine
+(:mod:`repro.core.mc`): each block of trials shares one masked verify
+loop and one folded forward pass per (method, target) cell.  Pass
+``batched=False`` for the scalar reference loop, or ``processes=N`` to
+fan the scalar loop across forked workers when a workload is too large
+to batch in memory.  Trial ``i`` draws its programming noise from the
+same named substream in every mode, so the paired design — and the
+per-trial noise draw itself — is identical across paths.
 """
 
 from __future__ import annotations
@@ -17,11 +26,13 @@ from repro.core import (
     InSituConfig,
     InSituTrainer,
     MagnitudeScorer,
+    MonteCarloEngine,
     RandomScorer,
     SwimScorer,
     WeightSpace,
     evaluate_accuracy,
 )
+from repro.core.metrics import evaluate_accuracy_trials
 from repro.utils.stats import summarize
 
 __all__ = ["MethodCurve", "SweepOutcome", "run_method_sweep", "WRITE_VERIFY_METHODS"]
@@ -115,6 +126,111 @@ def _insitu_row(zoo, accelerator, nwc_targets, run_rng, eval_x, eval_y,
     return accuracies, achieved
 
 
+def _batched_sweep(engine, zoo, accelerator, space, orders, methods, counts,
+                   nwc_targets, eval_x, eval_y, insitu_lr, acc_store,
+                   nwc_store):
+    """Trial-batched sweep body: fills the per-method stores in place.
+
+    Each block of trials is programmed from its per-trial substreams
+    (bit-identical to the scalar path), verified through one masked pulse
+    loop, and every (method, target) cell is evaluated for the whole
+    block in one folded forward pass.  The in-situ baseline is an
+    on-chip *training* loop, inherently sequential, so it keeps the
+    scalar per-trial path — its substreams match the scalar mode too.
+    """
+    # Deterministic rankings are block-invariant: build each target's
+    # masks once instead of once per block.
+    shared_masks = {
+        method: [space.masks_from_indices(orders[method][:count])
+                 for count in counts]
+        for method in methods
+        if method not in ("insitu", "random")
+    }
+    for block in engine.blocks():
+        streams = engine.substreams(block)
+        accelerator.program_trials(
+            [s.child("program").generator for s in streams]
+        )
+        accelerator.write_verify_trials(
+            rng=engine.rng.child("verify-batch", int(block[0])).generator
+        )
+
+        random_orders = None
+        if "random" in methods:
+            random_orders = [
+                RandomScorer().ranking(
+                    zoo.model, space, None, None,
+                    rng=s.child("random-order"),
+                )
+                for s in streams
+            ]
+
+        for method in methods:
+            if method == "insitu":
+                continue
+            for i, count in enumerate(counts):
+                if method == "random":
+                    masks = space.masks_from_indices_trials(
+                        [order[:count] for order in random_orders]
+                    )
+                else:
+                    masks = shared_masks[method][i]
+                nwc_store[method][block, i] = accelerator.apply_selection_trials(
+                    masks
+                )
+                acc_store[method][block, i] = evaluate_accuracy_trials(
+                    zoo.model, eval_x, eval_y, len(block)
+                )
+
+        if "insitu" in methods:
+            for trial, stream in zip(block, streams):
+                accelerator.program(stream.child("program").generator)
+                accelerator.write_verify_all(stream.child("verify").generator)
+                accuracies, achieved = _insitu_row(
+                    zoo, accelerator, nwc_targets, stream.child("insitu"),
+                    eval_x, eval_y, insitu_lr,
+                )
+                acc_store["insitu"][trial] = accuracies
+                nwc_store["insitu"][trial] = achieved
+
+
+def _scalar_sweep_trial(run_rng, zoo, accelerator, space, orders, methods,
+                        counts, nwc_targets, eval_x, eval_y, insitu_lr):
+    """One scalar Monte Carlo trial: rows for every method.
+
+    Returns ``method -> (accuracy_row, nwc_row)``; factored out so the
+    in-process loop and the process-pool fallback share one body.
+    """
+    accelerator.program(run_rng.child("program").generator)
+    accelerator.write_verify_all(run_rng.child("verify").generator)
+
+    run_orders = dict(orders)
+    if "random" in methods:
+        run_orders["random"] = RandomScorer().ranking(
+            zoo.model, space, None, None, rng=run_rng.child("random-order")
+        )
+
+    rows = {}
+    for method in methods:
+        if method == "insitu":
+            continue
+        order = run_orders[method]
+        accuracies = np.empty(len(counts), dtype=np.float64)
+        achieved = np.empty(len(counts), dtype=np.float64)
+        for i, count in enumerate(counts):
+            masks = space.masks_from_indices(order[:count])
+            achieved[i] = accelerator.apply_selection(masks)
+            accuracies[i] = evaluate_accuracy(zoo.model, eval_x, eval_y)
+        rows[method] = (accuracies, achieved)
+
+    if "insitu" in methods:
+        rows["insitu"] = _insitu_row(
+            zoo, accelerator, nwc_targets, run_rng.child("insitu"),
+            eval_x, eval_y, insitu_lr,
+        )
+    return rows
+
+
 def run_method_sweep(
     zoo,
     sigma,
@@ -127,6 +243,9 @@ def run_method_sweep(
     insitu_lr=0.03,
     device_bits=4,
     curvature_batches=2,
+    batched=True,
+    processes=None,
+    trial_block=None,
 ):
     """Run the full paired Monte Carlo sweep for one workload and sigma.
 
@@ -152,6 +271,15 @@ def run_method_sweep(
         K (paper: 4).
     curvature_batches:
         Batches accumulated in SWIM's curvature pass.
+    batched:
+        Drive the write-verify methods through the trial-batched Monte
+        Carlo engine (default).  ``False`` selects the scalar reference
+        loop; per-trial programming noise is identical either way.
+    processes:
+        Opt-in process-pool fallback (scalar path fanned across forked
+        workers) for workloads too large to batch in memory.
+    trial_block:
+        Trials per batched block (default: memory-bounded heuristic).
 
     Returns
     -------
@@ -188,36 +316,27 @@ def run_method_sweep(
     nwc_store = {m: np.zeros((mc_runs, n_targets)) for m in methods}
 
     counts = [int(round(t * space.total_size)) for t in nwc_targets]
+    engine = MonteCarloEngine(
+        mc_runs, rng, batched=batched, processes=processes,
+        trial_block=trial_block,
+    )
 
-    for run in range(mc_runs):
-        run_rng = rng.child("mc", run)
-        accelerator.program(run_rng.child("program").generator)
-        accelerator.write_verify_all(run_rng.child("verify").generator)
-
-        run_orders = dict(orders)
-        if "random" in methods:
-            run_orders["random"] = RandomScorer().ranking(
-                model, space, None, None, rng=run_rng.child("random-order")
+    if batched and not engine.processes:
+        _batched_sweep(
+            engine, zoo, accelerator, space, orders, methods, counts,
+            nwc_targets, eval_x, eval_y, insitu_lr, acc_store, nwc_store,
+        )
+    else:
+        rows_per_trial = engine.map_trials(
+            lambda i: _scalar_sweep_trial(
+                engine.substream(i), zoo, accelerator, space, orders,
+                methods, counts, nwc_targets, eval_x, eval_y, insitu_lr,
             )
-
-        for method in methods:
-            if method == "insitu":
-                continue
-            order = run_orders[method]
-            for i, count in enumerate(counts):
-                masks = space.masks_from_indices(order[:count])
-                nwc_store[method][run, i] = accelerator.apply_selection(masks)
-                acc_store[method][run, i] = evaluate_accuracy(
-                    model, eval_x, eval_y
-                )
-
-        if "insitu" in methods:
-            accuracies, achieved = _insitu_row(
-                zoo, accelerator, nwc_targets, run_rng.child("insitu"),
-                eval_x, eval_y, insitu_lr,
-            )
-            acc_store["insitu"][run] = accuracies
-            nwc_store["insitu"][run] = achieved
+        )
+        for run, rows in enumerate(rows_per_trial):
+            for method, (accuracies, achieved) in rows.items():
+                acc_store[method][run] = accuracies
+                nwc_store[method][run] = achieved
 
     accelerator.clear()
     outcome = SweepOutcome(

@@ -39,8 +39,11 @@ class Table1Result:
 
 def run_table1(scale, sigmas=TABLE1_SIGMAS, nwc_targets=DEFAULT_NWC_TARGETS,
                methods=("swim", "magnitude", "random", "insitu"),
-               seed=1, use_cache=True):
+               seed=1, use_cache=True, batched=True, processes=None):
     """Run the Table 1 experiment at a given scale preset.
+
+    ``batched`` selects the trial-batched Monte Carlo engine (default);
+    ``processes`` opts into the scalar process-pool fallback instead.
 
     Returns
     -------
@@ -64,6 +67,8 @@ def run_table1(scale, sigmas=TABLE1_SIGMAS, nwc_targets=DEFAULT_NWC_TARGETS,
             sense_samples=scale.sense_samples,
             methods=methods,
             insitu_lr=scale.insitu_lr,
+            batched=batched,
+            processes=processes,
         )
     return result
 

@@ -18,6 +18,14 @@ without touching the layer math:
 
 The override takes precedence over the quantizer: programmed conductances
 are already quantized by construction.
+
+``weight_override`` additionally accepts a *trial-batched* stack of shape
+``(n_trials,) + weight.shape``: the forward pass then expects a trial-major
+folded batch of ``n_trials * N`` samples and applies trial ``t``'s weights
+to samples ``t*N .. (t+1)*N``.  This is how the Monte Carlo engine
+(:mod:`repro.core.mc`) evaluates every variation draw of an experiment in
+one vectorized pass.  Batched overrides are inference-only: the backward
+passes refuse to run on a trial-batched forward.
 """
 
 from __future__ import annotations
@@ -44,14 +52,42 @@ class WeightedLayer(Module):
         return self.weight.data
 
     def set_weight_override(self, values):
-        """Run subsequent passes with ``values`` in place of the weights."""
-        if values is not None and values.shape != self.weight.data.shape:
+        """Run subsequent passes with ``values`` in place of the weights.
+
+        ``values`` may be the weight shape, or a trial-batched stack
+        ``(n_trials,) + weight.shape`` (see the module docstring).
+        """
+        shape = self.weight.data.shape
+        if values is not None and values.shape != shape and values.shape[1:] != shape:
             raise ValueError(
-                f"override shape {values.shape} != weight shape "
-                f"{self.weight.data.shape}"
+                f"override shape {values.shape} != weight shape {shape} "
+                f"(nor a (n_trials,)+{shape} stack)"
             )
         self.weight_override = values
+
+    def override_trials(self):
+        """Trial count of a batched override, or ``None`` when not batched."""
+        override = self.weight_override
+        if override is None or override.ndim == self.weight.data.ndim:
+            return None
+        return override.shape[0]
 
     def clear_weight_override(self):
         """Restore the ideal weights."""
         self.weight_override = None
+
+    @staticmethod
+    def _fold_size(total, n_trials):
+        """Samples per trial of a trial-major folded batch (validated)."""
+        if total % n_trials:
+            raise ValueError(
+                f"folded batch of {total} samples does not divide "
+                f"into {n_trials} trials"
+            )
+        return total // n_trials
+
+    @classmethod
+    def _split_trials(cls, x, n_trials):
+        """Reshape a trial-major folded batch to ``(T, N, ...)``."""
+        per = cls._fold_size(x.shape[0], n_trials)
+        return x.reshape((n_trials, per) + x.shape[1:])

@@ -70,6 +70,8 @@ class Conv2d(WeightedLayer):
 
     def _weight_matrix(self, w):
         kh, kw = self.kernel_size
+        if w.ndim == 5:  # (T, F, C, kh, kw) trial stack
+            return w.reshape(w.shape[0], self.out_channels, -1)
         return w.reshape(self.out_channels, self.in_channels * kh * kw)
 
     def forward(self, x):
@@ -84,6 +86,24 @@ class Conv2d(WeightedLayer):
         )
         w = self.effective_weight()
         w_mat = self._weight_matrix(w)
+        n_trials = self.override_trials()
+        if n_trials is not None:
+            # Trial-batched inference on a trial-major folded batch: the
+            # column matrix is (Ckk, T*N'*oh*ow) with samples trial-major,
+            # so a reshape exposes the trial axis for one batched matmul.
+            per = self._fold_size(n, n_trials)
+            cols_t = cols.reshape(
+                cols.shape[0], n_trials, per * out_h * out_w
+            ).transpose(1, 0, 2)
+            out = np.matmul(w_mat, cols_t)  # (T, F, N'*oh*ow), stacked BLAS
+            out = out.reshape(n_trials, self.out_channels, per, out_h, out_w)
+            out = out.transpose(0, 2, 1, 3, 4).reshape(
+                n, self.out_channels, out_h, out_w
+            )
+            if self.has_bias:
+                out = out + self.bias.data.reshape(1, -1, 1, 1)
+            self._cache = None  # inference-only: no backward through this
+            return np.ascontiguousarray(out)
         out = w_mat @ cols  # (F, N*oh*ow)
         out = out.reshape(self.out_channels, n, out_h, out_w).transpose(1, 0, 2, 3)
         if self.has_bias:
@@ -94,6 +114,31 @@ class Conv2d(WeightedLayer):
             "w_mat": w_mat,
             "out_hw": (out_h, out_w),
         }
+        return np.ascontiguousarray(out)
+
+    def forward_multi(self, x, weights):
+        """Apply a ``(T, F, C, kh, kw)`` filter stack to one *shared* input.
+
+        The receptive fields of ``x`` are unfolded once and multiplied by
+        every trial's filter bank in a single batched matmul, so T weight
+        variants cost one im2col instead of T.  Returns a trial-major
+        folded output ``(T*N, F, oh, ow)``.  Inference-only.
+        """
+        x = np.asarray(x)
+        weights = np.asarray(weights)
+        n, n_trials = x.shape[0], weights.shape[0]
+        cols, out_h, out_w = F.im2col(
+            x, self.kernel_size, stride=self.stride, padding=self.padding
+        )
+        w_mat = self._weight_matrix(weights)
+        out = w_mat @ cols  # (T, F, N*oh*ow) by broadcasting over trials
+        out = out.reshape(n_trials, self.out_channels, n, out_h, out_w)
+        out = out.transpose(0, 2, 1, 3, 4).reshape(
+            n_trials * n, self.out_channels, out_h, out_w
+        )
+        if self.has_bias:
+            out = out + self.bias.data.reshape(1, -1, 1, 1)
+        self._cache = None
         return np.ascontiguousarray(out)
 
     def _grad_matrix(self, grad_out):

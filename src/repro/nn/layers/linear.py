@@ -50,15 +50,44 @@ class Linear(WeightedLayer):
                 f"expected input (N, {self.in_features}), got {x.shape}"
             )
         w = self.effective_weight()
+        n_trials = self.override_trials()
+        if n_trials is not None:
+            # Trial-batched inference: per-trial weights applied to a
+            # trial-major folded batch (see WeightedLayer docstring).
+            xt = self._split_trials(x, n_trials)
+            # (T, N', in) @ (T, in, out) — stacked BLAS matmuls.
+            out = np.matmul(xt, w.transpose(0, 2, 1)).reshape(x.shape[0], -1)
+            if self.has_bias:
+                out = out + self.bias.data
+            self._cache = None  # inference-only: no backward through this
+            return out
         out = x @ w.T
         if self.has_bias:
             out = out + self.bias.data
         self._cache = {"x": x, "w": w}
         return out
 
+    def forward_multi(self, x, weights):
+        """Apply a ``(T, out, in)`` weight stack to one *shared* input.
+
+        Returns a trial-major folded output of shape ``(T*N, out)`` —
+        the input is not tiled, so evaluating T weight variants of this
+        layer costs one einsum instead of T matmuls.  Inference-only.
+        """
+        x = np.asarray(x)
+        weights = np.asarray(weights)
+        out = np.matmul(x, weights.transpose(0, 2, 1))  # (T, N, out)
+        if self.has_bias:
+            out = out + self.bias.data
+        self._cache = None
+        return out.reshape(weights.shape[0] * x.shape[0], -1)
+
     def backward(self, grad_out):
         if self._cache is None:
-            raise RuntimeError("backward called before forward")
+            raise RuntimeError(
+                "backward called before forward (or after a trial-batched "
+                "forward, which is inference-only)"
+            )
         x = self._cache["x"]
         w = self._cache["w"]
         self.weight.accumulate_grad(grad_out.T @ x)

@@ -1,0 +1,6 @@
+"""Test suite package.
+
+This file makes ``tests/`` an importable package so the relative imports
+of shared helpers (``from .helpers import ...``) resolve when pytest
+collects from the repository root.
+"""

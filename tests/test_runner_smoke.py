@@ -1,0 +1,44 @@
+"""End-to-end smoke: the CLI runner produces CSV artifacts via subprocess.
+
+Exercises the real entry point (``python -m repro.experiments.runner``)
+the way CI and users invoke it, including the ``REPRO_RESULTS_DIR``
+artifact contract and the trial-batched sweep path that the runner uses
+by default.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+
+@pytest.mark.slow
+def test_runner_table1_smoke_writes_csvs(tmp_path):
+    results = tmp_path / "results"
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+    env["REPRO_RESULTS_DIR"] = str(results)
+
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.experiments.runner", "table1",
+         "--scale", "smoke"],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=900,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert "Table 1" in proc.stdout
+
+    csvs = sorted(p.name for p in results.glob("table1_sigma*.csv"))
+    assert csvs == [
+        "table1_sigma0.1.csv",
+        "table1_sigma0.15.csv",
+        "table1_sigma0.2.csv",
+    ]
+    header = (results / csvs[0]).read_text(encoding="utf-8").splitlines()[0]
+    assert header.startswith("workload,sigma,method")
