@@ -1,0 +1,98 @@
+"""Benchmark: per-technology runtime + accuracy of the device stack.
+
+Runs the ``runner devices`` sweep body once per registered technology
+(trial-batched path) and records wall-clock, SWIM accuracy at the NWC
+grid, and the endurance wear summary, so the perf trajectory of the
+nonideality stack is tracked across PRs.  Results are printed and
+written as JSON to ``$REPRO_RESULTS_DIR/BENCH_devices.json`` (CI
+uploads it as an artifact)::
+
+    PYTHONPATH=src python benchmarks/bench_devices.py          # default
+    PYTHONPATH=src python benchmarks/bench_devices.py --smoke  # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+
+def bench_technology(zoo, scale, name, nwc_targets, seed=11):
+    """One batched sweep on one technology; returns the report row."""
+    from repro.experiments.sweeps import run_method_sweep
+    from repro.utils.rng import RngStream
+
+    start = time.perf_counter()
+    outcome = run_method_sweep(
+        zoo,
+        sigma=None,
+        technology=name,
+        nwc_targets=nwc_targets,
+        mc_runs=scale.mc_runs_devices,
+        rng=RngStream(seed).child("devices", name),
+        eval_samples=scale.eval_samples,
+        sense_samples=scale.sense_samples,
+        methods=("swim", "random"),
+    )
+    seconds = time.perf_counter() - start
+    swim = outcome.curves["swim"]
+    return {
+        "technology": name,
+        "sigma": outcome.sigma,
+        "seconds": seconds,
+        "mc_runs": scale.mc_runs_devices,
+        "nwc_targets": list(nwc_targets),
+        "swim_accuracy_mean": [float(v) for v in swim.means()],
+        "swim_accuracy_std": [float(v) for v in swim.stds()],
+        "wear": outcome.wear,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Benchmark the device-technology nonideality stack."
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="seconds-scale sanity run (CI)")
+    parser.add_argument("--output", default=None,
+                        help="JSON output path (default: "
+                             "$REPRO_RESULTS_DIR/BENCH_devices.json)")
+    args = parser.parse_args(argv)
+
+    from repro.cim import technology_names
+    from repro.experiments.config import get_scale
+    from repro.experiments.model_zoo import load_workload
+    from repro.experiments.reporting import results_dir
+
+    scale = get_scale("smoke" if args.smoke else "default")
+    nwc_targets = (0.0, 0.3, 0.7, 1.0)
+    zoo = load_workload(scale.workload("lenet-digits"))
+    report = {"scale": scale.name, "workload": zoo.spec.key,
+              "clean_accuracy": zoo.clean_accuracy, "technologies": []}
+
+    print(f"# bench_devices — scale: {scale.name}")
+    for name in technology_names():
+        row = bench_technology(zoo, scale, name, nwc_targets)
+        report["technologies"].append(row)
+        wear = row["wear"] or {}
+        print(
+            f"{name}: {row['seconds']:.2f}s, swim acc "
+            f"{100 * row['swim_accuracy_mean'][0]:.2f}% -> "
+            f"{100 * row['swim_accuracy_mean'][-1]:.2f}%, "
+            f"{wear.get('deployments_to_failure', float('nan')):.3g} "
+            "deployments to failure"
+        )
+
+    out_path = args.output or os.path.join(results_dir(), "BENCH_devices.json")
+    os.makedirs(os.path.dirname(os.path.abspath(out_path)), exist_ok=True)
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+    print(f"[saved {out_path}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

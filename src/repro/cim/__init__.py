@@ -1,4 +1,13 @@
-"""nvCiM substrate: devices, mapping, write-verify, crossbars, accelerator."""
+"""nvCiM substrate: devices, mapping, write-verify, crossbars, accelerator.
+
+Device physics lives in the composable :mod:`repro.cim.devices`
+subsystem: a trial-batched :class:`NonidealityStack` (programming noise →
+spatial correlation at write time, retention drift at read time, with
+endurance accounting as an observer) behind a :class:`DeviceTechnology`
+registry (``fefet`` — the paper's default — plus ``rram``, ``pcm``,
+``mram``).  The old per-silo modules (``repro.cim.device`` etc.) remain
+as deprecated shims.
+"""
 
 from repro.cim.accelerator import CimAccelerator, weighted_layer_names
 from repro.cim.crossbar import (
@@ -7,13 +16,31 @@ from repro.cim.crossbar import (
     CrossbarLinear,
     uniform_quantize_midrise,
 )
-from repro.cim.device import DeviceConfig
-from repro.cim.endurance import EnduranceModel, WearReport
+from repro.cim.devices import (
+    DEFAULT_TECHNOLOGY,
+    DeviceConfig,
+    DeviceTechnology,
+    EnduranceModel,
+    EnduranceObserver,
+    NonidealityStack,
+    NonidealityStage,
+    ProgrammingNoiseStage,
+    ResidualModel,
+    RetentionDriftStage,
+    RetentionModel,
+    SpatialCorrelationStage,
+    SpatialVariationModel,
+    StageContext,
+    WearReport,
+    get_technology,
+    inject_code_noise,
+    inject_weight_noise,
+    register_technology,
+    resolve_technology,
+    technology_names,
+)
 from repro.cim.energy import CostModel, format_duration
 from repro.cim.mapping import MappedTensor, MappingConfig, WeightMapper
-from repro.cim.noise import ResidualModel, inject_code_noise, inject_weight_noise
-from repro.cim.retention import RetentionModel
-from repro.cim.spatial import SpatialVariationModel
 from repro.cim.write_verify import (
     WriteVerifyConfig,
     WriteVerifyResult,
@@ -28,21 +55,34 @@ __all__ = [
     "ConverterConfig",
     "CrossbarConfig",
     "CrossbarLinear",
+    "DEFAULT_TECHNOLOGY",
     "DeviceConfig",
+    "DeviceTechnology",
     "EnduranceModel",
+    "EnduranceObserver",
     "MappedTensor",
     "MappingConfig",
+    "NonidealityStack",
+    "NonidealityStage",
+    "ProgrammingNoiseStage",
     "ResidualModel",
+    "RetentionDriftStage",
     "RetentionModel",
+    "SpatialCorrelationStage",
     "SpatialVariationModel",
+    "StageContext",
     "WearReport",
     "WeightMapper",
     "WriteVerifyConfig",
     "WriteVerifyResult",
     "calibrate_alpha",
     "format_duration",
+    "get_technology",
     "inject_code_noise",
     "inject_weight_noise",
+    "register_technology",
+    "resolve_technology",
+    "technology_names",
     "uniform_quantize_midrise",
     "weighted_layer_names",
     "write_verify",

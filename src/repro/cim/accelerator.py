@@ -28,12 +28,26 @@ advances all trials through one masked pulse loop, and
 :mod:`repro.nn.layers.base`) plus a per-trial NWC vector.  Programming
 uses one RNG substream per trial, so trial ``i``'s initial conductances
 are bit-identical to what the scalar path draws for run ``i``.
+
+Nonideality stack
+-----------------
+All device physics flows through a
+:class:`~repro.cim.devices.NonidealityStack`: write stages (programming
+noise, optionally spatial correlation) run inside ``program`` /
+``program_trials``; read stages (retention drift) run inside
+``apply_selection*`` when a ``read_time`` is requested; write-verify
+cycle counts feed the stack's endurance observer (``wear_summary()``).
+Pass ``technology="pcm"`` (or any registered
+:class:`~repro.cim.devices.DeviceTechnology`) to derive mapping + stack
+from one named profile; the default stack reproduces the paper's i.i.d.
+Gaussian model bit-for-bit.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.cim.devices import NonidealityStack, StageContext, resolve_technology
 from repro.cim.mapping import MappingConfig, WeightMapper
 from repro.cim.write_verify import (
     WriteVerifyConfig,
@@ -59,12 +73,22 @@ def weighted_layer_names(model):
 class CimAccelerator:
     """Simulated nvCiM platform hosting one model's weights."""
 
-    def __init__(self, model, mapping_config=None, wv_config=None):
+    def __init__(self, model, mapping_config=None, wv_config=None, stack=None,
+                 technology=None):
         self.model = model
+        self.technology = None
+        if technology is not None:
+            self.technology = resolve_technology(technology)
+            if mapping_config is None:
+                mapping_config = self.technology.mapping_config()
+            if stack is None:
+                stack = self.technology.build_stack()
         self.mapping_config = (
             mapping_config if mapping_config is not None else MappingConfig()
         )
         self.wv_config = wv_config if wv_config is not None else WriteVerifyConfig()
+        self.stack = stack if stack is not None else NonidealityStack.default()
+        self._stage_ctx = StageContext.from_mapping(self.mapping_config)
         self.mapper = WeightMapper(self.mapping_config)
         self._layers = {}
         for mod_name, module in model.named_modules():
@@ -79,6 +103,7 @@ class CimAccelerator:
         self._programmed_trials = None
         self._verified_trials = None
         self._n_trials = None
+        self._drift_cache = None
 
     # -------------------------------------------------------------- mapping
 
@@ -114,11 +139,17 @@ class CimAccelerator:
     def program(self, rng):
         """Initial parallel programming of all devices (no verify).
 
-        Invalidates any previous verify results (new run).
+        Runs the stack's write stages (programming noise, then any
+        correlated-variation stage) on every tensor; the default stack is
+        draw-for-draw identical to the historical
+        ``WeightMapper.program_levels`` path.  Invalidates any previous
+        verify results and resets the wear observers (new run).
         """
         self.map_model()
+        self.stack.reset_observers()
+        self._drift_cache = None
         self._programmed = {
-            name: self.mapper.program_levels(mapped, rng)
+            name: self.stack.program(mapped.levels, self._stage_ctx, rng)
             for name, mapped in self._mapped.items()
         }
         self._verified = None
@@ -134,6 +165,7 @@ class CimAccelerator:
         """
         if self._programmed is None:
             raise RuntimeError("program() must run before write_verify_all()")
+        self._drift_cache = None
         mapping = self.mapping_config
         tolerances = mapping.slice_tolerance_levels(self.wv_config.tolerance)
         full_scales = mapping.slice_max_levels
@@ -156,6 +188,7 @@ class CimAccelerator:
                 cycles=np.stack([r.cycles for r in slice_results]),
                 converged=np.stack([r.converged for r in slice_results]),
             )
+            self.stack.observe(name, self._verified[name].cycles)
         return self._verified
 
     # ------------------------------------------------------------ accounting
@@ -175,7 +208,48 @@ class CimAccelerator:
 
     # ------------------------------------------------------------ deployment
 
-    def apply_selection(self, selection_masks):
+    def _drift_pair(self, key, name, drift_fn):
+        """Cached (drifted verified, drifted programmed) for one tensor.
+
+        Drift stages are elementwise with draws that depend only on the
+        array shape and the named substream, so drifting the verified and
+        programmed stacks separately (with the *same* per-tensor
+        substream, hence the same exponent/relaxation draws) and
+        selecting afterwards is bitwise-identical to drifting the
+        selected combination — and lets every (method, target) deployment
+        of a sweep reuse one drift computation.  The cache holds the most
+        recent ``(read_time, streams)`` key only and is invalidated by
+        re-programming/re-verifying.
+        """
+        if self._drift_cache is None or self._drift_cache[0] != key:
+            self._drift_cache = (key, {})
+        cache = self._drift_cache[1]
+        if name not in cache:
+            cache[name] = drift_fn()
+        return cache[name]
+
+    def _drifted_scalar(self, name, read_time, read_stream):
+        """Drifted (verified, programmed) level stacks for one tensor.
+
+        ``read_stream`` is an :class:`~repro.utils.rng.RngStream`; the
+        per-tensor substream ``read_stream.child("read", name)`` makes the
+        drift realization a deterministic function of (trial stream, read
+        time), so re-deploying the same trial at several NWC targets sees
+        the same drifted devices — the paired design survives retention.
+        """
+        def drift():
+            stream = read_stream.child("read", name)
+            return (
+                self.stack.read(self._verified[name].levels, self._stage_ctx,
+                                stream, t=read_time),
+                self.stack.read(self._programmed[name], self._stage_ctx,
+                                stream, t=read_time),
+            )
+
+        key = (float(read_time), read_stream.seed)
+        return self._drift_pair(key, name, drift)
+
+    def apply_selection(self, selection_masks, read_time=None, read_stream=None):
         """Deploy: verified levels where selected, raw elsewhere.
 
         Parameters
@@ -183,6 +257,12 @@ class CimAccelerator:
         selection_masks:
             ``name -> boolean array`` (weight shape).  Missing names mean
             "nothing selected in this tensor".
+        read_time:
+            Optional read time (seconds since programming); when the
+            stack has read stages, deployed levels drift to this time.
+        read_stream:
+            :class:`~repro.utils.rng.RngStream` naming the drift draws
+            (required when ``read_time`` is set on a drifting stack).
 
         Returns
         -------
@@ -192,6 +272,9 @@ class CimAccelerator:
         """
         if self._verified is None:
             raise RuntimeError("write_verify_all() must run first")
+        drifting = read_time is not None and self.stack.has_read_stages
+        if drifting and read_stream is None:
+            raise ValueError("read_time requires a read_stream (RngStream)")
         spent = 0
         total = 0
         for name, mapped in self._mapped.items():
@@ -207,28 +290,33 @@ class CimAccelerator:
                         f"mask shape {mask.shape} != weight shape "
                         f"{mapped.codes.shape} for {name}"
                     )
-            levels = np.where(
-                mask[None, ...],
-                self._verified[name].levels,
-                self._programmed[name],
-            )
+            if drifting:
+                verified, programmed = self._drifted_scalar(
+                    name, read_time, read_stream
+                )
+            else:
+                verified = self._verified[name].levels
+                programmed = self._programmed[name]
+            levels = np.where(mask[None, ...], verified, programmed)
             weights = self.mapper.readout_weights(mapped, levels)
             layer = self._layers[name]
             layer.set_weight_override(weights.astype(layer.weight.data.dtype))
             spent += int(cycles[mask].sum())
         return spent / total if total else 0.0
 
-    def apply_none(self):
+    def apply_none(self, read_time=None, read_stream=None):
         """Deploy raw programmed weights everywhere (NWC = 0)."""
-        return self.apply_selection({})
+        return self.apply_selection({}, read_time=read_time,
+                                    read_stream=read_stream)
 
-    def apply_all(self):
+    def apply_all(self, read_time=None, read_stream=None):
         """Deploy verified weights everywhere (NWC = 1)."""
         masks = {
             name: np.ones(m.codes.shape, dtype=bool)
             for name, m in self._mapped.items()
         }
-        return self.apply_selection(masks)
+        return self.apply_selection(masks, read_time=read_time,
+                                    read_stream=read_stream)
 
     def apply_ideal(self):
         """Deploy noise-free quantized weights (clean reference accuracy)."""
@@ -263,20 +351,19 @@ class CimAccelerator:
             ``name -> (num_slices, n_trials) + weight_shape`` levels.
         """
         self.map_model()
-        n_trials = len(trial_rngs)
-        per_trial = [
-            {
-                name: self.mapper.program_levels(mapped, rng)
-                for name, mapped in self._mapped.items()
-            }
-            for rng in trial_rngs
-        ]
+        self.stack.reset_observers()
+        self._drift_cache = None
+        # Per-trial generators advance only when their own trial draws, so
+        # running the stack tensor-major here gives each trial the exact
+        # draw order of a scalar program() call with the same generator.
         self._programmed_trials = {
-            name: np.stack([draw[name] for draw in per_trial], axis=1)
-            for name in self._mapped
+            name: self.stack.program_trials(
+                mapped.levels, self._stage_ctx, trial_rngs
+            )
+            for name, mapped in self._mapped.items()
         }
         self._verified_trials = None
-        self._n_trials = n_trials
+        self._n_trials = len(trial_rngs)
         return self._programmed_trials
 
     def write_verify_trials(self, rng=None, trial_rngs=None, batched=True):
@@ -296,6 +383,7 @@ class CimAccelerator:
         """
         if self._programmed_trials is None:
             raise RuntimeError("program_trials() must run before write_verify_trials()")
+        self._drift_cache = None
         mapping = self.mapping_config
         tolerances = mapping.slice_tolerance_levels(self.wv_config.tolerance)
         full_scales = mapping.slice_max_levels
@@ -326,6 +414,7 @@ class CimAccelerator:
                 cycles=np.stack([r.cycles for r in slice_results]),
                 converged=np.stack([r.converged for r in slice_results]),
             )
+            self.stack.observe(name, self._verified_trials[name].cycles)
         return self._verified_trials
 
     def weight_cycles_trials(self):
@@ -345,7 +434,8 @@ class CimAccelerator:
             total += per_weight.reshape(self._n_trials, -1).sum(axis=1)
         return total
 
-    def apply_selection_trials(self, selection_masks, trial_indices=None):
+    def apply_selection_trials(self, selection_masks, trial_indices=None,
+                               read_time=None, read_streams=None):
         """Deploy trial-batched weights: verified where selected, raw else.
 
         Parameters
@@ -359,6 +449,14 @@ class CimAccelerator:
             Optional integer index array restricting deployment to a
             subset of trials (the active-trial mask of Algorithm 1); the
             returned NWC vector then has that subset's length.
+        read_time:
+            Optional read time (seconds since programming) for the
+            stack's read stages (retention drift).
+        read_streams:
+            One :class:`~repro.utils.rng.RngStream` per trial of the
+            *full* trial set (``trial_indices`` subsets them); trial
+            ``i`` drifts bitwise-identically to a scalar
+            :meth:`apply_selection` call with ``read_streams[i]``.
 
         Returns
         -------
@@ -370,6 +468,19 @@ class CimAccelerator:
         n_deploy = (
             self._n_trials if trial_indices is None else len(trial_indices)
         )
+        drifting = read_time is not None and self.stack.has_read_stages
+        if drifting:
+            if read_streams is None:
+                raise ValueError("read_time requires read_streams")
+            deploy_streams = (
+                list(read_streams)
+                if trial_indices is None
+                else [read_streams[int(i)] for i in trial_indices]
+            )
+            if len(deploy_streams) != n_deploy:
+                raise ValueError(
+                    f"need {n_deploy} read_streams, got {len(deploy_streams)}"
+                )
         spent = np.zeros(n_deploy, dtype=np.int64)
         total = np.zeros(n_deploy, dtype=np.int64)
         for name, mapped in self._mapped.items():
@@ -400,12 +511,50 @@ class CimAccelerator:
                     f"shape {mapped.codes.shape} nor a per-trial stack "
                     f"for {name}"
                 )
+            if drifting:
+                verified_levels, programmed = self._drifted_trials(
+                    name, verified_levels, programmed, read_time,
+                    deploy_streams,
+                )
             levels = np.where(trial_mask[None, ...], verified_levels, programmed)
             weights = self.mapper.readout_weights(mapped, levels)
             layer = self._layers[name]
             layer.set_weight_override(weights.astype(layer.weight.data.dtype))
             spent += np.where(trial_mask, cycles, 0).reshape(n_deploy, -1).sum(axis=1)
         return np.where(total > 0, spent / np.maximum(total, 1), 0.0)
+
+    def _drifted_trials(self, name, verified_levels, programmed, read_time,
+                        streams):
+        """Drifted (verified, programmed) trial stacks for one tensor.
+
+        Same substream naming as the scalar path (trial ``i`` drifts via
+        ``streams[i].child("read", name)``), so batched and scalar drift
+        stay bitwise-equal; the cache key is the deployed streams' seeds,
+        so a sweep's repeated (method, target) deployments of one block
+        drift once.
+        """
+        def drift():
+            children = [s.child("read", name) for s in streams]
+            return (
+                self.stack.read_trials(verified_levels, self._stage_ctx,
+                                       children, t=read_time),
+                self.stack.read_trials(programmed, self._stage_ctx,
+                                       children, t=read_time),
+            )
+
+        key = (float(read_time), tuple(s.seed for s in streams))
+        return self._drift_pair(key, name, drift)
+
+    def wear_summary(self, initial_writes=1):
+        """Endurance wear over every trial this accelerator simulated.
+
+        Delegates to the stack's :class:`~repro.cim.devices.
+        EnduranceObserver`, which folds each programming session into
+        running aggregates — so blocked trial-batched sweeps and scalar
+        per-trial loops both report statistics over all observed
+        device-trials, not just the last block.
+        """
+        return self.stack.wear_summary(initial_writes=initial_writes)
 
     def deployed_weights(self):
         """Current override arrays per tensor (None when not deployed)."""

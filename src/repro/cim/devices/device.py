@@ -1,0 +1,90 @@
+"""NVM device model: K-bit conductance levels with programming variation.
+
+The paper's variation model (Sec. 4.1): a device programmed to desired
+conductance ``g`` actually holds ``N(g, sigma^2)``, with ``sigma``
+*independent of the programmed value* (the key empirical fact from
+Feinberg et al. [2] that makes magnitude a poor sensitivity proxy).
+
+Conventions
+-----------
+A K-bit device has integer levels ``0 .. 2^K - 1``.  ``sigma`` is expressed
+as a fraction of the device's conductance full-scale, so the standard
+deviation in level units is ``sigma * (2^K - 1)``.  With this convention
+the paper's "typical sigma = 0.1" produces ~10% full-scale programming
+error before write-verify and its "deviation < 3% after write-verify"
+corresponds to the 0.06 full-scale verify tolerance — see
+``repro.cim.write_verify``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DeviceConfig"]
+
+
+@dataclass(frozen=True)
+class DeviceConfig:
+    """A K-bit NVM device with value-independent Gaussian write noise.
+
+    Attributes
+    ----------
+    bits:
+        Bits per device (K in the paper; K=4 in all its experiments).
+    sigma:
+        Programming noise std as a fraction of conductance full-scale.
+    """
+
+    bits: int = 4
+    sigma: float = 0.1
+
+    def __post_init__(self):
+        if self.bits < 1:
+            raise ValueError(f"bits must be >= 1, got {self.bits}")
+        if self.sigma < 0:
+            raise ValueError(f"sigma must be >= 0, got {self.sigma}")
+
+    @property
+    def levels(self):
+        """Number of programmable levels, ``2^K``."""
+        return 1 << self.bits
+
+    @property
+    def max_level(self):
+        """Highest level value, ``2^K - 1`` (the conductance full-scale)."""
+        return self.levels - 1
+
+    @property
+    def sigma_levels(self):
+        """Programming noise std in level units."""
+        return self.sigma * self.max_level
+
+    def sample_write_noise(self, shape, rng):
+        """Noise added by one programming pulse, in level units."""
+        if self.sigma == 0:
+            return np.zeros(shape)
+        return rng.normal(0.0, self.sigma_levels, size=shape)
+
+    def program(self, targets, rng):
+        """One-shot (no verify) programming of target levels.
+
+        Parameters
+        ----------
+        targets:
+            Desired levels (float array, in ``[0, max_level]``).
+        rng:
+            numpy Generator or RngStream-compatible object.
+
+        Returns
+        -------
+        numpy.ndarray
+            Actual programmed levels (float; Eq. 15's Gaussian draw).
+        """
+        targets = np.asarray(targets, dtype=np.float64)
+        return targets + self.sample_write_noise(targets.shape, rng)
+
+    def with_sigma(self, sigma):
+        """A copy of this config with a different noise level."""
+        return DeviceConfig(bits=self.bits, sigma=float(sigma))

@@ -1,0 +1,197 @@
+"""Device endurance: write-verify consumes program/erase cycles.
+
+NVM cells endure a finite number of programming pulses (RRAM: ~1e6-1e12
+depending on technology).  Full write-verify spends ~10 pulses per device
+at every deployment; SWIM's selective scheme concentrates pulses on the
+sensitive weights and leaves the rest at one (parallel, verify-free)
+write.  This module turns per-device cycle counts into wear statistics so
+the endurance benefit — a side effect of the paper's speedup — can be
+quantified.
+
+:class:`EnduranceObserver` is the stack-facing half: it rides along the
+nonideality stack (:mod:`repro.cim.devices.stack`) as a passive observer,
+accumulating the cycle arrays each write-verify session produces so the
+accelerator can report wear without the physics stages knowing about it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["EnduranceModel", "EnduranceObserver", "WearReport"]
+
+
+@dataclass
+class WearReport:
+    """Aggregate wear of one programming session.
+
+    Attributes
+    ----------
+    total_pulses:
+        All programming pulses issued (including the initial parallel
+        write of every device).
+    max_pulses_per_device:
+        The most-stressed device's pulse count.
+    mean_pulses_per_device:
+        Average pulses per device.
+    deployments_to_failure:
+        How many identical deployments the *most-stressed* device
+        survives under the endurance budget.
+    """
+
+    total_pulses: int
+    max_pulses_per_device: int
+    mean_pulses_per_device: float
+    deployments_to_failure: float
+
+
+@dataclass(frozen=True)
+class EnduranceModel:
+    """Pulse budget of the device technology.
+
+    Attributes
+    ----------
+    endurance_cycles:
+        Program/erase cycles a device survives (default 1e6: conservative
+        multi-level RRAM).
+    """
+
+    endurance_cycles: float = 1e6
+
+    def __post_init__(self):
+        if self.endurance_cycles <= 0:
+            raise ValueError("endurance_cycles must be > 0")
+
+    def wear_report(self, verify_cycles, initial_writes=1):
+        """Wear statistics for one deployment.
+
+        Parameters
+        ----------
+        verify_cycles:
+            Per-device correction-pulse counts (any shape), e.g. a
+            :class:`~repro.cim.write_verify.WriteVerifyResult` ``cycles``
+            array, or zeros for unverified devices.
+        initial_writes:
+            Pulses of the initial parallel programming pass (1 for every
+            device, regardless of selection).
+
+        Returns
+        -------
+        WearReport
+        """
+        cycles = np.asarray(verify_cycles, dtype=np.int64)
+        per_device = cycles + int(initial_writes)
+        worst = int(per_device.max()) if per_device.size else initial_writes
+        return WearReport(
+            total_pulses=int(per_device.sum()),
+            max_pulses_per_device=worst,
+            mean_pulses_per_device=float(per_device.mean())
+            if per_device.size
+            else float(initial_writes),
+            deployments_to_failure=self.endurance_cycles / max(worst, 1),
+        )
+
+    def compare_selection(self, cycles, selection_mask):
+        """Wear of selective vs full write-verify on the same cycle draw.
+
+        Parameters
+        ----------
+        cycles:
+            Per-device verify cycles a full write-verify would spend.
+        selection_mask:
+            Boolean array: devices whose weights are selected for verify.
+
+        Returns
+        -------
+        dict
+            ``{"full": WearReport, "selective": WearReport,
+            "lifetime_gain": float}`` — the lifetime multiplier is in
+            expected re-deployments of the *average* device.
+        """
+        cycles = np.asarray(cycles, dtype=np.int64)
+        mask = np.asarray(selection_mask, dtype=bool)
+        if mask.shape != cycles.shape:
+            raise ValueError("selection mask must match cycles shape")
+        full = self.wear_report(cycles)
+        selective = self.wear_report(np.where(mask, cycles, 0))
+        gain = (
+            full.mean_pulses_per_device / selective.mean_pulses_per_device
+            if selective.mean_pulses_per_device > 0
+            else float("inf")
+        )
+        return {"full": full, "selective": selective, "lifetime_gain": gain}
+
+
+class EnduranceObserver:
+    """Accumulates verify-cycle arrays as a nonideality-stack observer.
+
+    The observer is passive: every write-verify session reports its
+    per-device cycle arrays through :meth:`observe`; re-programming
+    starts a new session (:meth:`reset`), which folds the previous one
+    into running aggregates instead of discarding it.  :meth:`summary`
+    therefore covers *every device-trial observed since construction* —
+    a Monte Carlo sweep's trials are independent realizations of one
+    deployment, so the mean and maximum over all of them are the right
+    per-deployment wear statistics regardless of how the trials were
+    blocked.  Trial-batched sessions simply report
+    ``(num_slices, n_trials, ...)`` stacks; each stacked device counts
+    once.
+    """
+
+    def __init__(self, model=None):
+        self.model = model if model is not None else EnduranceModel()
+        self._cycles = {}
+        self._agg_devices = 0
+        self._agg_cycles = 0
+        self._agg_max = 0
+
+    def reset(self):
+        """Start a new session, folding the previous one into aggregates."""
+        for cycles in self._cycles.values():
+            flat = cycles.reshape(-1)
+            if flat.size:
+                self._agg_devices += flat.size
+                self._agg_cycles += int(flat.sum())
+                self._agg_max = max(self._agg_max, int(flat.max()))
+        self._cycles = {}
+
+    def observe(self, name, cycles):
+        """Record one tensor's verify-cycle array for this session."""
+        self._cycles[name] = np.asarray(cycles, dtype=np.int64)
+
+    @property
+    def has_data(self):
+        """True once at least one write-verify session was observed."""
+        return bool(self._cycles) or self._agg_devices > 0
+
+    def summary(self, initial_writes=1):
+        """Wear statistics over every device-trial observed so far.
+
+        Returns
+        -------
+        dict
+            ``{"endurance_cycles", "total_pulses",
+            "mean_pulses_per_device", "max_pulses_per_device",
+            "deployments_to_failure"}`` or ``None`` before any session.
+        """
+        devices = self._agg_devices
+        total_cycles = self._agg_cycles
+        worst_cycles = self._agg_max
+        for cycles in self._cycles.values():
+            flat = cycles.reshape(-1)
+            if flat.size:
+                devices += flat.size
+                total_cycles += int(flat.sum())
+                worst_cycles = max(worst_cycles, int(flat.max()))
+        if devices == 0:
+            return None
+        worst = worst_cycles + int(initial_writes)
+        return {
+            "endurance_cycles": self.model.endurance_cycles,
+            "total_pulses": total_cycles + devices * int(initial_writes),
+            "mean_pulses_per_device": total_cycles / devices + int(initial_writes),
+            "max_pulses_per_device": worst,
+            "deployments_to_failure": self.model.endurance_cycles / max(worst, 1),
+        }

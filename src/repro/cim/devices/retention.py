@@ -1,0 +1,139 @@
+"""Conductance retention drift after programming.
+
+Write-verify guarantees precision *at programming time*; NVM conductances
+then drift (prominently in PCM, and as random telegraph/relaxation noise in
+RRAM — the read-noise concern of Shim et al. [8], the paper's calibration
+source).  This module models post-programming drift so the benchmark suite
+can ask a question the paper leaves open: *does a selectively verified
+network lose its advantage over time?*
+
+Model
+-----
+Power-law drift with device-to-device exponent variation, the standard PCM
+form::
+
+    g(t) = g(t0) * (t / t0) ** (-nu_i),   nu_i ~ N(nu, sigma_nu^2)
+
+plus an optional zero-mean relaxation term growing as ``log(t/t0)``
+(RRAM-style conductance relaxation).  ``t`` is in seconds, ``t0`` the
+read-after-write reference time.
+
+Trial batching
+--------------
+:meth:`RetentionModel.apply_trials` drifts a stack of independent Monte
+Carlo trials with one per-trial RNG each, so trial ``i`` of the batched
+path is bitwise-identical to a scalar :meth:`RetentionModel.apply` call
+with the same generator — the equivalence contract every stage of the
+nonideality stack (:mod:`repro.cim.devices.stack`) honors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RetentionModel"]
+
+
+@dataclass(frozen=True)
+class RetentionModel:
+    """Post-programming conductance drift.
+
+    Attributes
+    ----------
+    nu:
+        Mean drift exponent (PCM literature: ~0.005-0.1; 0 disables).
+    sigma_nu:
+        Device-to-device std of the drift exponent.
+    relaxation_sigma:
+        Std (fraction of full-scale) of the log-time random relaxation
+        accrued per decade.
+    t0:
+        Reference time (seconds) at which programming precision holds.
+    """
+
+    nu: float = 0.02
+    sigma_nu: float = 0.005
+    relaxation_sigma: float = 0.005
+    t0: float = 1.0
+
+    def __post_init__(self):
+        if self.nu < 0 or self.sigma_nu < 0 or self.relaxation_sigma < 0:
+            raise ValueError("drift parameters must be >= 0")
+        if self.t0 <= 0:
+            raise ValueError("t0 must be > 0")
+
+    @property
+    def is_null(self):
+        """True when this model never changes any level."""
+        return self.nu == 0 and self.sigma_nu == 0 and self.relaxation_sigma == 0
+
+    def apply(self, levels, t, rng, device_max_level=15):
+        """Drift programmed ``levels`` to time ``t``.
+
+        Parameters
+        ----------
+        levels:
+            Programmed conductance levels (any shape, level units, >= 0
+            entries drift multiplicatively; the array is not modified).
+        t:
+            Elapsed time in seconds (must be >= t0).
+        rng:
+            numpy Generator (per-device exponents and relaxation).
+        device_max_level:
+            Full-scale, for the relaxation term's units.
+
+        Returns
+        -------
+        numpy.ndarray
+            Drifted levels, same shape.
+        """
+        levels = np.asarray(levels, dtype=np.float64)
+        if t < self.t0:
+            raise ValueError(f"t={t} must be >= t0={self.t0}")
+        ratio = t / self.t0
+        if ratio == 1.0:
+            return levels.copy()
+        exponents = (
+            rng.normal(self.nu, self.sigma_nu, size=levels.shape)
+            if self.sigma_nu > 0
+            else np.full(levels.shape, self.nu)
+        )
+        drifted = levels * np.power(ratio, -np.clip(exponents, 0.0, None))
+        if self.relaxation_sigma > 0:
+            decades = np.log10(ratio)
+            drifted = drifted + rng.normal(
+                0.0,
+                self.relaxation_sigma * device_max_level * np.sqrt(decades),
+                size=levels.shape,
+            )
+        return drifted
+
+    def apply_trials(self, levels, t, trial_rngs, device_max_level=15):
+        """Drift an ``(n_trials, ...)`` stack, one generator per trial.
+
+        Trial ``i`` draws its exponents and relaxation exactly as a scalar
+        :meth:`apply` call with ``trial_rngs[i]`` would, so batched and
+        scalar Monte Carlo paths stay bitwise-equivalent.
+
+        Returns
+        -------
+        numpy.ndarray
+            Drifted stack, same shape as ``levels``.
+        """
+        levels = np.asarray(levels, dtype=np.float64)
+        if levels.ndim < 1 or levels.shape[0] != len(trial_rngs):
+            raise ValueError(
+                f"need one rng per trial: {levels.shape} vs {len(trial_rngs)}"
+            )
+        return np.stack(
+            [
+                self.apply(levels[i], t, rng, device_max_level=device_max_level)
+                for i, rng in enumerate(trial_rngs)
+            ]
+        )
+
+    def mean_relative_shift(self, t):
+        """Expected multiplicative conductance loss at time ``t``."""
+        return 1.0 - (t / self.t0) ** (-self.nu)

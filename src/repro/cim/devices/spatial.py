@@ -1,0 +1,174 @@
+"""Spatially correlated device variation (the paper's Sec. 2.1 extension).
+
+The paper evaluates *temporal* variation (i.i.d. per device) and notes that
+"spatial variations result from fabrication defects and have both local and
+global correlations... The proposed framework can also be extended to other
+sources of variations with modification."  This module provides that
+extension: a Gaussian random field over the physical crossbar layout, with
+
+- a *global* wafer-level offset shared by a whole array, and
+- a *local* component correlated over a configurable length scale
+  (filtered white noise),
+
+normalized so the marginal per-device std matches the requested sigma.
+Because correlated noise cannot be fought by re-programming alone (all
+nearby devices err together), write-verify still works — the verify loop
+measures each device individually — but *unverified* weights now fail in
+clusters, which stresses selection quality differently than i.i.d. noise
+(see ``benchmarks/bench_spatial.py``).
+
+The Gaussian smoothing uses :func:`scipy.ndimage.gaussian_filter` when
+SciPy is installed and falls back to a NumPy separable wrap-mode filter
+otherwise, so the module works in minimal environments; the field is
+re-normalized to the marginal sigma either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+try:  # SciPy is optional: only the smoothing kernel comes from it.
+    from scipy import ndimage as _ndimage
+except ImportError:  # pragma: no cover - exercised via _gaussian_filter_wrap
+    _ndimage = None
+
+__all__ = ["SpatialVariationModel"]
+
+
+def _gaussian_filter_wrap(array, sigma):
+    """Separable wrap-mode Gaussian smoothing (NumPy fallback for SciPy).
+
+    Matches scipy.ndimage.gaussian_filter's kernel radius convention
+    (truncate at 4 sigma); small numerical differences to SciPy are
+    irrelevant because the caller re-normalizes the field's std.
+    """
+    radius = max(1, int(4.0 * sigma + 0.5))
+    offsets = np.arange(-radius, radius + 1)
+    kernel = np.exp(-0.5 * (offsets / sigma) ** 2)
+    kernel /= kernel.sum()
+    out = np.asarray(array, dtype=np.float64)
+    for axis in range(out.ndim):
+        moved = np.moveaxis(out, axis, 0)
+        n = moved.shape[0]
+        idx = (np.arange(n)[:, None] + offsets[None, :]) % n
+        gathered = moved[idx]  # (n, kernel) + rest
+        kshape = (1, kernel.size) + (1,) * (moved.ndim - 1)
+        moved = (gathered * kernel.reshape(kshape)).sum(axis=1)
+        out = np.moveaxis(moved, 0, axis)
+    return out
+
+
+def _smooth(white, correlation_length):
+    if _ndimage is not None:
+        return _ndimage.gaussian_filter(white, correlation_length, mode="wrap")
+    return _gaussian_filter_wrap(white, correlation_length)
+
+
+@dataclass(frozen=True)
+class SpatialVariationModel:
+    """Correlated programming-error field over crossbar coordinates.
+
+    Attributes
+    ----------
+    sigma:
+        Marginal per-device noise std as a fraction of full-scale (the
+        same convention as :class:`~repro.cim.devices.device.DeviceConfig`).
+    correlation_length:
+        Length scale (in devices) of the local correlation; 0 reduces to
+        i.i.d. noise.
+    global_fraction:
+        Fraction of the noise *variance* carried by the array-wide offset
+        (fabrication-lot component).
+    array_rows:
+        Devices per physical column used to fold a flat weight tensor
+        onto 2-D crossbar coordinates.
+    """
+
+    sigma: float = 0.1
+    correlation_length: float = 8.0
+    global_fraction: float = 0.2
+    array_rows: int = 128
+
+    def __post_init__(self):
+        if self.sigma < 0:
+            raise ValueError("sigma must be >= 0")
+        if self.correlation_length < 0:
+            raise ValueError("correlation_length must be >= 0")
+        if not 0 <= self.global_fraction < 1:
+            raise ValueError("global_fraction must be in [0, 1)")
+        if self.array_rows < 1:
+            raise ValueError("array_rows must be >= 1")
+
+    def _layout(self, size):
+        """Fold ``size`` devices into (rows, cols) crossbar coordinates."""
+        rows = min(self.array_rows, size)
+        cols = -(-size // rows)
+        return rows, cols
+
+    def sample_field(self, size, rng, device_max_level=15):
+        """Sample a correlated error field for ``size`` devices.
+
+        Parameters
+        ----------
+        size:
+            Number of devices.
+        rng:
+            numpy Generator.
+        device_max_level:
+            Full-scale in level units (errors are returned in levels).
+
+        Returns
+        -------
+        numpy.ndarray
+            Flat error array of length ``size`` (level units) whose
+            marginal std is ``sigma * device_max_level``.
+        """
+        if self.sigma == 0 or size == 0:
+            return np.zeros(size)
+        rows, cols = self._layout(size)
+        white = rng.normal(0.0, 1.0, size=(rows, cols))
+        if self.correlation_length > 0:
+            local = _smooth(white, self.correlation_length)
+            std = local.std()
+            local = local / std if std > 0 else white
+        else:
+            local = white
+        field = np.sqrt(1.0 - self.global_fraction) * local
+        if self.global_fraction > 0:
+            field = field + np.sqrt(self.global_fraction) * rng.normal()
+        flat = field.reshape(-1)[:size]
+        return flat * self.sigma * device_max_level
+
+    def sample_field_trials(self, size, trial_rngs, device_max_level=15):
+        """Sample one independent field per trial: ``(n_trials, size)``.
+
+        Trial ``i`` draws from ``trial_rngs[i]`` exactly as a scalar
+        :meth:`sample_field` call would (bitwise-equal), which is what
+        keeps the batched nonideality stack equivalent to the scalar
+        reference path.
+        """
+        return np.stack(
+            [
+                self.sample_field(size, rng, device_max_level=device_max_level)
+                for rng in trial_rngs
+            ]
+        )
+
+    def correlation_at_lag(self, lag, size=8192, seed=0, device_max_level=15):
+        """Empirical autocorrelation of the field at a given row lag.
+
+        Diagnostic used by tests and the spatial bench to demonstrate the
+        difference from i.i.d. noise.
+        """
+        rng = np.random.default_rng(seed)
+        field = self.sample_field(size, rng, device_max_level)
+        rows, cols = self._layout(size)
+        grid = np.resize(field, rows * cols).reshape(rows, cols)
+        a = grid[: rows - lag, :].reshape(-1)
+        b = grid[lag:, :].reshape(-1)
+        a = a - a.mean()
+        b = b - b.mean()
+        denom = np.sqrt((a * a).mean() * (b * b).mean())
+        return float((a * b).mean() / denom) if denom > 0 else 0.0

@@ -1,0 +1,312 @@
+"""Composable, trial-batched nonideality stack.
+
+Before this subsystem the repository's device physics lived in five silos
+(programming noise, closed-form noise, retention, spatial correlation,
+endurance) that only the benchmarks wired together.  The stack composes
+them into one ordered pipeline the accelerator runs for every tensor:
+
+- **write stages** run at programming time, in order (programming noise,
+  then spatially correlated variation);
+- **read stages** run at deployment/read time (retention drift to the
+  requested read time);
+- **observers** watch write-verify cycle accounting without touching any
+  level (endurance wear).
+
+RNG discipline
+--------------
+Write stages draw *sequentially* from the generator the caller passes —
+exactly the contract :meth:`repro.cim.mapping.WeightMapper.program_levels`
+always had — so the default stack is bitwise-identical to the historical
+programming path, and per-trial generators keep batched and scalar Monte
+Carlo runs bitwise-equivalent.  Read stages draw from a *named substream
+per stage* (``stream.child(stage.name)``), so re-deploying the same trial
+at the same read time always sees the same drift realization: the paired
+design of the NWC sweeps extends to retention studies, and a device's
+drift exponent stays fixed across observation times.
+
+Trial batching: every stack method has a ``*_trials`` twin taking one
+generator (or stream) per trial and returning the accelerator's
+slice-major ``(num_slices, n_trials) + weight_shape`` layout, with trial
+``i`` bitwise-equal to the scalar call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cim.devices.endurance import EnduranceObserver
+
+__all__ = [
+    "StageContext",
+    "NonidealityStage",
+    "ProgrammingNoiseStage",
+    "SpatialCorrelationStage",
+    "RetentionDriftStage",
+    "NonidealityStack",
+]
+
+
+@dataclass(frozen=True)
+class StageContext:
+    """Mapping-derived geometry every stage needs.
+
+    Attributes
+    ----------
+    slice_sigma_levels:
+        Programming-noise std per bit slice, in that slice's level units.
+    slice_max_levels:
+        Conductance full-scale per bit slice (level units).
+    differential:
+        Whether each weight also programs a complementary-column device
+        (doubling the programming-noise draws, as in
+        :meth:`~repro.cim.mapping.WeightMapper.program_levels`).
+    """
+
+    slice_sigma_levels: np.ndarray
+    slice_max_levels: np.ndarray
+    differential: bool = False
+
+    @classmethod
+    def from_mapping(cls, mapping_config):
+        """Build the context for one :class:`~repro.cim.mapping.MappingConfig`."""
+        return cls(
+            slice_sigma_levels=np.asarray(
+                mapping_config.slice_sigma_levels(), dtype=np.float64
+            ),
+            slice_max_levels=np.asarray(
+                mapping_config.slice_max_levels, dtype=np.float64
+            ),
+            differential=bool(mapping_config.differential),
+        )
+
+
+class NonidealityStage:
+    """One ordered transformation of slice-major device levels.
+
+    Subclasses set ``name`` (used for read-substream naming and display)
+    and ``when`` (``"write"`` = applied at programming time, ``"read"`` =
+    applied at deployment time), and implement :meth:`apply` on a
+    ``(num_slices,) + weight_shape`` array for one trial.  Stages must be
+    pure in their inputs apart from RNG draws: trial batching relies on
+    per-trial generators reproducing the scalar draw order bitwise.
+    """
+
+    name = "stage"
+    when = "write"
+
+    def apply(self, levels, ctx, rng, t=None):
+        """Transform one trial's slice-major levels; returns a new array."""
+        raise NotImplementedError
+
+    def __repr__(self):
+        return f"{type(self).__name__}(name={self.name!r}, when={self.when!r})"
+
+
+class ProgrammingNoiseStage(NonidealityStage):
+    """I.i.d. Gaussian programming noise per device (paper Eq. 15).
+
+    Reproduces :meth:`~repro.cim.mapping.WeightMapper.program_levels`
+    draw-for-draw — one standard-normal array per tensor scaled by the
+    per-slice sigma, plus a second subtracted draw in differential mode —
+    so a default stack is bitwise-identical to the historical path.
+    """
+
+    name = "program-noise"
+    when = "write"
+
+    def apply(self, levels, ctx, rng, t=None):
+        per_slice = ctx.slice_sigma_levels.reshape(
+            (-1,) + (1,) * (levels.ndim - 1)
+        )
+        out = levels + rng.normal(0.0, 1.0, size=levels.shape) * per_slice
+        if ctx.differential:
+            out = out - rng.normal(0.0, 1.0, size=levels.shape) * per_slice
+        return out
+
+
+class SpatialCorrelationStage(NonidealityStage):
+    """Adds a spatially correlated error field per bit slice.
+
+    Wraps :class:`~repro.cim.devices.spatial.SpatialVariationModel`: each
+    slice's devices are folded onto crossbar coordinates and receive one
+    correlated field draw, scaled to the slice's own full-scale.
+    """
+
+    name = "spatial"
+    when = "write"
+
+    def __init__(self, model):
+        self.model = model
+
+    def apply(self, levels, ctx, rng, t=None):
+        out = np.array(levels, dtype=np.float64)
+        for i in range(out.shape[0]):
+            field = self.model.sample_field(
+                out[i].size, rng, device_max_level=ctx.slice_max_levels[i]
+            )
+            out[i] = out[i] + field.reshape(out[i].shape)
+        return out
+
+
+class RetentionDriftStage(NonidealityStage):
+    """Drifts levels to the read time ``t`` at deployment.
+
+    Wraps :class:`~repro.cim.devices.retention.RetentionModel`.  A read
+    with ``t=None`` (or ``t == t0``) is the paper's read-after-write
+    setting and leaves levels untouched.
+    """
+
+    name = "retention"
+    when = "read"
+
+    def __init__(self, model):
+        self.model = model
+
+    def apply(self, levels, ctx, rng, t=None):
+        if t is None:
+            return levels
+        out = np.empty_like(np.asarray(levels, dtype=np.float64))
+        for i in range(out.shape[0]):
+            out[i] = self.model.apply(
+                levels[i], t, rng, device_max_level=ctx.slice_max_levels[i]
+            )
+        return out
+
+
+class NonidealityStack:
+    """Ordered nonideality stages plus passive observers.
+
+    Parameters
+    ----------
+    stages:
+        :class:`NonidealityStage` instances; write stages run in the
+        given order at programming time, read stages in the given order
+        at read time.
+    observers:
+        Objects with ``reset()`` / ``observe(name, cycles)`` (e.g.
+        :class:`~repro.cim.devices.endurance.EnduranceObserver`); fed the
+        verify-cycle arrays of every write-verify session.
+    """
+
+    def __init__(self, stages=(), observers=()):
+        self.stages = tuple(stages)
+        self.observers = tuple(observers)
+        for stage in self.stages:
+            if stage.when not in ("write", "read"):
+                raise ValueError(
+                    f"stage {stage.name!r} has invalid when={stage.when!r}"
+                )
+
+    @classmethod
+    def default(cls, endurance_model=None):
+        """The paper's model: i.i.d. programming noise + wear accounting."""
+        return cls(
+            stages=(ProgrammingNoiseStage(),),
+            observers=(EnduranceObserver(endurance_model),),
+        )
+
+    # ------------------------------------------------------------ structure
+
+    @property
+    def write_stages(self):
+        """Stages applied at programming time, in order."""
+        return tuple(s for s in self.stages if s.when == "write")
+
+    @property
+    def read_stages(self):
+        """Stages applied at read/deployment time, in order."""
+        return tuple(s for s in self.stages if s.when == "read")
+
+    @property
+    def has_read_stages(self):
+        """True when deployment-time physics (e.g. drift) is modeled."""
+        return bool(self.read_stages)
+
+    def stage(self, name):
+        """Look up one stage by name."""
+        for s in self.stages:
+            if s.name == name:
+                return s
+        raise KeyError(f"no stage named {name!r}; have {[s.name for s in self.stages]}")
+
+    # ---------------------------------------------------------------- write
+
+    def program(self, levels, ctx, rng):
+        """Run all write stages on one trial's desired levels.
+
+        ``rng`` is a numpy Generator; stages draw from it sequentially
+        (the historical ``program_levels`` contract).
+        """
+        out = np.asarray(levels, dtype=np.float64)
+        for stage in self.write_stages:
+            out = stage.apply(out, ctx, rng)
+        return out
+
+    def program_trials(self, levels, ctx, trial_rngs):
+        """Program a stack of trials: ``(num_slices, n_trials) + shape``.
+
+        Trial ``i`` draws from ``trial_rngs[i]`` exactly as
+        :meth:`program` would, so batched and scalar paths see
+        bit-identical programmed levels.
+        """
+        return np.stack(
+            [self.program(levels, ctx, rng) for rng in trial_rngs], axis=1
+        )
+
+    # ----------------------------------------------------------------- read
+
+    def read(self, levels, ctx, stream, t=None):
+        """Run all read stages on one trial's deployed levels.
+
+        ``stream`` is an :class:`~repro.utils.rng.RngStream`; each stage
+        draws from ``stream.child(stage.name)``, so identical (stream, t)
+        pairs always produce identical drift realizations — re-deploying
+        a trial at several NWC targets keeps the paired design.
+        """
+        if t is None or not self.read_stages:
+            return levels
+        out = levels
+        for stage in self.read_stages:
+            out = stage.apply(out, ctx, stream.child(stage.name).generator, t=t)
+        return out
+
+    def read_trials(self, levels, ctx, streams, t=None):
+        """Read a slice-major trial stack through all read stages.
+
+        ``levels`` is ``(num_slices, n_trials) + shape``; trial ``i``
+        reads through ``streams[i]`` bitwise-equal to :meth:`read`.
+        """
+        if t is None or not self.read_stages:
+            return levels
+        return np.stack(
+            [
+                self.read(levels[:, i], ctx, stream, t=t)
+                for i, stream in enumerate(streams)
+            ],
+            axis=1,
+        )
+
+    # ------------------------------------------------------------ observers
+
+    def reset_observers(self):
+        """Start a fresh wear-accounting session (called on programming)."""
+        for observer in self.observers:
+            observer.reset()
+
+    def observe(self, name, cycles):
+        """Report one tensor's verify-cycle array to every observer."""
+        for observer in self.observers:
+            observer.observe(name, cycles)
+
+    def wear_summary(self, initial_writes=1):
+        """The endurance observer's wear statistics (None when absent)."""
+        for observer in self.observers:
+            if isinstance(observer, EnduranceObserver):
+                return observer.summary(initial_writes=initial_writes)
+        return None
+
+    def __repr__(self):
+        names = ", ".join(f"{s.name}@{s.when}" for s in self.stages)
+        return f"NonidealityStack([{names}], observers={len(self.observers)})"

@@ -1,119 +1,23 @@
-"""Device endurance: write-verify consumes program/erase cycles.
+"""Deprecated shim: moved to :mod:`repro.cim.devices.endurance`.
 
-NVM cells endure a finite number of programming pulses (RRAM: ~1e6-1e12
-depending on technology).  Full write-verify spends ~10 pulses per device
-at every deployment; SWIM's selective scheme concentrates pulses on the
-sensitive weights and leaves the rest at one (parallel, verify-free)
-write.  This module turns per-device cycle counts into wear statistics so
-the endurance benefit — a side effect of the paper's speedup — can be
-quantified (see ``tests/test_endurance.py``).
+Endurance accounting now rides the composable nonideality stack as an
+observer (:class:`repro.cim.devices.EnduranceObserver`).  Import
+:class:`EnduranceModel` / :class:`WearReport` from :mod:`repro.cim` or
+:mod:`repro.cim.devices` instead; this module re-exports the old names
+so existing imports keep working.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
 
-import numpy as np
+from repro.cim.devices.endurance import EnduranceModel, EnduranceObserver, WearReport
 
-__all__ = ["EnduranceModel", "WearReport"]
+__all__ = ["EnduranceModel", "EnduranceObserver", "WearReport"]
 
-
-@dataclass
-class WearReport:
-    """Aggregate wear of one programming session.
-
-    Attributes
-    ----------
-    total_pulses:
-        All programming pulses issued (including the initial parallel
-        write of every device).
-    max_pulses_per_device:
-        The most-stressed device's pulse count.
-    mean_pulses_per_device:
-        Average pulses per device.
-    deployments_to_failure:
-        How many identical deployments the *most-stressed* device
-        survives under the endurance budget.
-    """
-
-    total_pulses: int
-    max_pulses_per_device: int
-    mean_pulses_per_device: float
-    deployments_to_failure: float
-
-
-@dataclass(frozen=True)
-class EnduranceModel:
-    """Pulse budget of the device technology.
-
-    Attributes
-    ----------
-    endurance_cycles:
-        Program/erase cycles a device survives (default 1e6: conservative
-        multi-level RRAM).
-    """
-
-    endurance_cycles: float = 1e6
-
-    def __post_init__(self):
-        if self.endurance_cycles <= 0:
-            raise ValueError("endurance_cycles must be > 0")
-
-    def wear_report(self, verify_cycles, initial_writes=1):
-        """Wear statistics for one deployment.
-
-        Parameters
-        ----------
-        verify_cycles:
-            Per-device correction-pulse counts (any shape), e.g. a
-            :class:`~repro.cim.write_verify.WriteVerifyResult` ``cycles``
-            array, or zeros for unverified devices.
-        initial_writes:
-            Pulses of the initial parallel programming pass (1 for every
-            device, regardless of selection).
-
-        Returns
-        -------
-        WearReport
-        """
-        cycles = np.asarray(verify_cycles, dtype=np.int64)
-        per_device = cycles + int(initial_writes)
-        worst = int(per_device.max()) if per_device.size else initial_writes
-        return WearReport(
-            total_pulses=int(per_device.sum()),
-            max_pulses_per_device=worst,
-            mean_pulses_per_device=float(per_device.mean())
-            if per_device.size
-            else float(initial_writes),
-            deployments_to_failure=self.endurance_cycles / max(worst, 1),
-        )
-
-    def compare_selection(self, cycles, selection_mask):
-        """Wear of selective vs full write-verify on the same cycle draw.
-
-        Parameters
-        ----------
-        cycles:
-            Per-device verify cycles a full write-verify would spend.
-        selection_mask:
-            Boolean array: devices whose weights are selected for verify.
-
-        Returns
-        -------
-        dict
-            ``{"full": WearReport, "selective": WearReport,
-            "lifetime_gain": float}`` — the lifetime multiplier is in
-            expected re-deployments of the *average* device.
-        """
-        cycles = np.asarray(cycles, dtype=np.int64)
-        mask = np.asarray(selection_mask, dtype=bool)
-        if mask.shape != cycles.shape:
-            raise ValueError("selection mask must match cycles shape")
-        full = self.wear_report(cycles)
-        selective = self.wear_report(np.where(mask, cycles, 0))
-        gain = (
-            full.mean_pulses_per_device / selective.mean_pulses_per_device
-            if selective.mean_pulses_per_device > 0
-            else float("inf")
-        )
-        return {"full": full, "selective": selective, "lifetime_gain": gain}
+warnings.warn(
+    "repro.cim.endurance is deprecated; import from repro.cim or "
+    "repro.cim.devices instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.cim.device import DeviceConfig
+from repro.cim.devices.device import DeviceConfig
 from repro.nn.quant import quantize_symmetric
 
 __all__ = ["MappingConfig", "WeightMapper", "MappedTensor"]

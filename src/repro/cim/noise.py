@@ -1,131 +1,26 @@
-"""Fast-path variation injection (closed-form Eq. 16) and residual models.
+"""Deprecated shim: moved to :mod:`repro.cim.devices.noise`.
 
-Two ways to obtain "weights as programmed" exist in this repository:
-
-1. the honest device simulation in :mod:`repro.cim.accelerator`
-   (program every device, run the verify loop, read back), and
-2. the closed-form fast path here, which samples the *aggregate* weight
-   error distribution directly: pre-write-verify errors from Eq. 16, and
-   post-write-verify residuals from an empirical distribution measured
-   once from the honest simulation.
-
-The fast path exists for studies that perturb weights many times without
-needing per-device state (e.g. the Fig. 1 sensitivity correlation study);
-``tests/test_noise_consistency.py`` verifies the two paths agree
-statistically.
+Import :func:`inject_code_noise` / :func:`inject_weight_noise` /
+:class:`ResidualModel` from :mod:`repro.cim` or
+:mod:`repro.cim.devices` instead; this module re-exports the old names
+so existing imports keep working.
 """
 
 from __future__ import annotations
 
-import numpy as np
+import warnings
 
-from repro.cim.mapping import MappingConfig
-from repro.cim.write_verify import WriteVerifyConfig, write_verify
+from repro.cim.devices.noise import (
+    ResidualModel,
+    inject_code_noise,
+    inject_weight_noise,
+)
 
-__all__ = [
-    "inject_code_noise",
-    "inject_weight_noise",
-    "ResidualModel",
-]
+__all__ = ["inject_code_noise", "inject_weight_noise", "ResidualModel"]
 
-
-def inject_code_noise(codes, config, rng, n_trials=None):
-    """Eq. 16: add the closed-form mapped-code error to integer codes.
-
-    Parameters
-    ----------
-    codes:
-        Desired signed integer codes.
-    config:
-        :class:`~repro.cim.mapping.MappingConfig`.
-    rng:
-        numpy Generator.
-    n_trials:
-        When set, draw that many independent noise realizations in one
-        call and return a stack with a leading ``(n_trials,)`` axis — the
-        trial-batched fast path of :mod:`repro.core.mc`.
-
-    Returns
-    -------
-    numpy.ndarray
-        Float codes ``W_map`` (not rounded — conductance is analog),
-        shape ``codes.shape`` or ``(n_trials,) + codes.shape``.
-    """
-    codes = np.asarray(codes, dtype=np.float64)
-    shape = codes.shape if n_trials is None else (int(n_trials),) + codes.shape
-    std = config.code_noise_std()
-    if std == 0:
-        return codes.copy() if n_trials is None else np.broadcast_to(codes, shape).copy()
-    return codes + rng.normal(0.0, std, size=shape)
-
-
-def inject_weight_noise(weights, config, rng, n_trials=None):
-    """Quantize a float tensor and return its noisy mapped float values.
-
-    Convenience wrapper: quantize to codes, add Eq. 16 noise, dequantize.
-    The returned array has the same shape/dtype domain as ``weights``
-    (with a leading trial axis when ``n_trials`` is set).
-    """
-    from repro.cim.mapping import WeightMapper  # local import avoids cycle
-
-    mapper = WeightMapper(config)
-    codes, scale = mapper.quantize(weights)
-    noisy = inject_code_noise(codes, config, rng, n_trials=n_trials)
-    return noisy * scale
-
-
-class ResidualModel:
-    """Empirical post-write-verify residual distribution (per device).
-
-    Built by running the honest verify loop once on a sample of devices
-    and storing the sorted residuals; sampling then draws by inverse-CDF
-    interpolation, so the fast path reproduces the simulation's residual
-    statistics (including the concentration near the tolerance boundary
-    that a parametric Gaussian would miss).
-    """
-
-    def __init__(self, sorted_residuals_levels, mean_cycles):
-        self._sorted = np.asarray(sorted_residuals_levels, dtype=np.float64)
-        if self._sorted.size < 2:
-            raise ValueError("need at least two residual samples")
-        self.mean_cycles = float(mean_cycles)
-
-    @classmethod
-    def from_simulation(cls, device, wv_config=None, n_devices=8192, seed=2024):
-        """Measure residuals by simulating the verify loop once."""
-        wv_config = wv_config if wv_config is not None else WriteVerifyConfig()
-        rng = np.random.default_rng(seed)
-        targets = rng.uniform(0, device.max_level, size=n_devices)
-        initial = device.program(targets, rng)
-        result = write_verify(targets, initial, device, wv_config, rng)
-        residuals = np.sort(result.levels - targets)
-        return cls(residuals, result.cycles.mean())
-
-    def sample_levels(self, shape, rng):
-        """Sample per-device residuals in level units."""
-        u = rng.uniform(0.0, 1.0, size=shape)
-        positions = u * (self._sorted.size - 1)
-        lo = np.floor(positions).astype(np.int64)
-        hi = np.minimum(lo + 1, self._sorted.size - 1)
-        frac = positions - lo
-        return (1 - frac) * self._sorted[lo] + frac * self._sorted[hi]
-
-    def residual_std_levels(self):
-        """Std of the stored residual distribution (level units)."""
-        return float(self._sorted.std())
-
-    def apply_to_codes(self, codes, config, rng, n_trials=None):
-        """Sample post-verify residuals for every slice of every weight.
-
-        Returns float codes: the desired code plus the bit-slice-weighted
-        sum of per-device residuals (the verified analogue of Eq. 16).
-        With ``n_trials`` set, the result carries a leading trial axis of
-        independent residual draws.
-        """
-        codes = np.asarray(codes, dtype=np.float64)
-        shape = codes.shape if n_trials is None else (int(n_trials),) + codes.shape
-        slice_weights = config.slice_weights.astype(np.float64)
-        total = codes.copy() if n_trials is None else np.broadcast_to(codes, shape).copy()
-        for weight in slice_weights:
-            total = total + weight * self.sample_levels(shape, rng)
-        return total
+warnings.warn(
+    "repro.cim.noise is deprecated; import from repro.cim or "
+    "repro.cim.devices instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

@@ -1,102 +1,23 @@
-"""Conductance retention drift after programming.
+"""Deprecated shim: moved to :mod:`repro.cim.devices.retention`.
 
-Write-verify guarantees precision *at programming time*; NVM conductances
-then drift (prominently in PCM, and as random telegraph/relaxation noise in
-RRAM — the read-noise concern of Shim et al. [8], the paper's calibration
-source).  This module models post-programming drift so the benchmark suite
-can ask a question the paper leaves open: *does a selectively verified
-network lose its advantage over time?*
-
-Model
------
-Power-law drift with device-to-device exponent variation, the standard PCM
-form::
-
-    g(t) = g(t0) * (t / t0) ** (-nu_i),   nu_i ~ N(nu, sigma_nu^2)
-
-plus an optional zero-mean relaxation term growing as ``log(t/t0)``
-(RRAM-style conductance relaxation).  ``t`` is in seconds, ``t0`` the
-read-after-write reference time.
+Retention drift is now a read-time stage of the composable nonideality
+stack (:class:`repro.cim.devices.RetentionDriftStage`).  Import
+:class:`RetentionModel` from :mod:`repro.cim` or
+:mod:`repro.cim.devices` instead; this module re-exports the old name
+so existing imports keep working.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
 
-import numpy as np
+from repro.cim.devices.retention import RetentionModel
 
 __all__ = ["RetentionModel"]
 
-
-@dataclass(frozen=True)
-class RetentionModel:
-    """Post-programming conductance drift.
-
-    Attributes
-    ----------
-    nu:
-        Mean drift exponent (PCM literature: ~0.005-0.1; 0 disables).
-    sigma_nu:
-        Device-to-device std of the drift exponent.
-    relaxation_sigma:
-        Std (fraction of full-scale) of the log-time random relaxation
-        accrued per decade.
-    t0:
-        Reference time (seconds) at which programming precision holds.
-    """
-
-    nu: float = 0.02
-    sigma_nu: float = 0.005
-    relaxation_sigma: float = 0.005
-    t0: float = 1.0
-
-    def __post_init__(self):
-        if self.nu < 0 or self.sigma_nu < 0 or self.relaxation_sigma < 0:
-            raise ValueError("drift parameters must be >= 0")
-        if self.t0 <= 0:
-            raise ValueError("t0 must be > 0")
-
-    def apply(self, levels, t, rng, device_max_level=15):
-        """Drift programmed ``levels`` to time ``t``.
-
-        Parameters
-        ----------
-        levels:
-            Programmed conductance levels (any shape, level units, >= 0
-            entries drift multiplicatively; the array is not modified).
-        t:
-            Elapsed time in seconds (must be >= t0).
-        rng:
-            numpy Generator (per-device exponents and relaxation).
-        device_max_level:
-            Full-scale, for the relaxation term's units.
-
-        Returns
-        -------
-        numpy.ndarray
-            Drifted levels, same shape.
-        """
-        levels = np.asarray(levels, dtype=np.float64)
-        if t < self.t0:
-            raise ValueError(f"t={t} must be >= t0={self.t0}")
-        ratio = t / self.t0
-        if ratio == 1.0:
-            return levels.copy()
-        exponents = (
-            rng.normal(self.nu, self.sigma_nu, size=levels.shape)
-            if self.sigma_nu > 0
-            else np.full(levels.shape, self.nu)
-        )
-        drifted = levels * np.power(ratio, -np.clip(exponents, 0.0, None))
-        if self.relaxation_sigma > 0:
-            decades = np.log10(ratio)
-            drifted = drifted + rng.normal(
-                0.0,
-                self.relaxation_sigma * device_max_level * np.sqrt(decades),
-                size=levels.shape,
-            )
-        return drifted
-
-    def mean_relative_shift(self, t):
-        """Expected multiplicative conductance loss at time ``t``."""
-        return 1.0 - (t / self.t0) ** (-self.nu)
+warnings.warn(
+    "repro.cim.retention is deprecated; import RetentionModel from "
+    "repro.cim or repro.cim.devices instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

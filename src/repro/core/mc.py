@@ -181,14 +181,17 @@ class MonteCarloEngine:
     # ------------------------------------------------------------ pipelines
 
     def sweep_nwc(self, model, accelerator, order, space, eval_x, eval_y,
-                  nwc_targets, eval_batch_size=256):
+                  nwc_targets, eval_batch_size=256, read_time=None):
         """Accuracy at each NWC target for every trial.
 
         The trial-batched counterpart of
         :func:`repro.core.swim.sweep_nwc`: one program + verify
         simulation per block covers all of the block's trials, and each
         target's deployment is evaluated for the whole block in one
-        folded forward pass.
+        folded forward pass.  ``read_time`` ages the deployed levels
+        through the accelerator's nonideality stack (retention drift),
+        with per-trial named substreams so batched and scalar paths see
+        bit-identical drift.
 
         Returns
         -------
@@ -207,7 +210,7 @@ class MonteCarloEngine:
                 return sweep_nwc_scalar(
                     model, accelerator, order, space, eval_x, eval_y,
                     nwc_targets, self.substream(i),
-                    eval_batch_size=eval_batch_size,
+                    eval_batch_size=eval_batch_size, read_time=read_time,
                 )
 
             for i, (acc, nwc) in enumerate(self.map_trials(scalar_trial)):
@@ -229,7 +232,9 @@ class MonteCarloEngine:
                 rng=self.rng.child("verify-batch", int(block[0])).generator
             )
             for k, masks in enumerate(target_masks):
-                achieved[block, k] = accelerator.apply_selection_trials(masks)
+                achieved[block, k] = accelerator.apply_selection_trials(
+                    masks, read_time=read_time, read_streams=streams
+                )
                 accuracies[block, k] = evaluate_accuracy_trials(
                     model, eval_x, eval_y, len(block), eval_batch_size
                 )

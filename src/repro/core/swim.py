@@ -173,12 +173,16 @@ def sweep_nwc(
     nwc_targets,
     rng,
     eval_batch_size=256,
+    read_time=None,
 ):
     """Accuracy at each NWC target for one Monte Carlo draw.
 
     The ranking ``order`` is computed once by the caller (it does not
     depend on the noise draw); this function performs the program + verify
     simulation and then deploys/evaluates every target fraction.
+    ``read_time`` (seconds since programming) lets a drifting nonideality
+    stack age the deployed levels before each evaluation; the drift draws
+    are named off ``rng``, so every target sees the same drifted devices.
 
     Returns
     -------
@@ -193,6 +197,8 @@ def sweep_nwc(
     for i, target in enumerate(nwc_targets):
         count = int(round(target * space.total_size))
         masks = space.masks_from_indices(order[:count])
-        achieved[i] = accelerator.apply_selection(masks)
+        achieved[i] = accelerator.apply_selection(
+            masks, read_time=read_time, read_stream=rng
+        )
         accuracies[i] = evaluate_accuracy(model, eval_x, eval_y, eval_batch_size)
     return accuracies, achieved

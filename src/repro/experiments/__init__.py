@@ -1,9 +1,15 @@
 """Experiment drivers regenerating every table and figure of the paper."""
 
 from repro.experiments.config import SCALES, ScalePreset, WorkloadSpec, get_scale
+from repro.experiments.devices import DevicesResult, render_devices, run_devices
 from repro.experiments.fig1 import Fig1Config, Fig1Result, run_fig1
 from repro.experiments.fig2 import FIG2_WORKLOADS, render_fig2_panel, run_fig2_panel
 from repro.experiments.model_zoo import ZooModel, build_data, build_model, load_workload
+from repro.experiments.retention import (
+    RetentionResult,
+    render_retention,
+    run_retention,
+)
 from repro.experiments.sweeps import (
     MethodCurve,
     SweepOutcome,
@@ -18,10 +24,12 @@ from repro.experiments.table1 import (
 )
 
 __all__ = [
+    "DevicesResult",
     "FIG2_WORKLOADS",
     "Fig1Config",
     "Fig1Result",
     "MethodCurve",
+    "RetentionResult",
     "SCALES",
     "ScalePreset",
     "SweepOutcome",
@@ -34,10 +42,14 @@ __all__ = [
     "build_model",
     "get_scale",
     "load_workload",
+    "render_devices",
     "render_fig2_panel",
+    "render_retention",
     "render_table1",
+    "run_devices",
     "run_fig1",
     "run_fig2_panel",
     "run_method_sweep",
+    "run_retention",
     "run_table1",
 ]

@@ -57,7 +57,13 @@ class WorkloadSpec:
 
 @dataclass(frozen=True)
 class ScalePreset:
-    """All scale-dependent knobs of the experiment drivers."""
+    """All scale-dependent knobs of the experiment drivers.
+
+    ``mc_runs_devices`` / ``mc_runs_retention`` size the technology and
+    drift scenarios (``runner devices`` / ``runner retention``);
+    ``retention_times`` is the read-time grid in seconds (the first entry
+    should be the write-verify reference time ``t0 = 1 s``).
+    """
 
     name: str
     workloads: dict
@@ -69,6 +75,9 @@ class ScalePreset:
     eval_samples: int
     sense_samples: int
     insitu_lr: float = 0.01
+    mc_runs_devices: int = 2
+    mc_runs_retention: int = 2
+    retention_times: tuple = (1.0, 3.6e3, 8.64e4, 2.592e6)
 
     def workload(self, key):
         """Look up one workload spec."""
@@ -128,6 +137,9 @@ SMOKE = ScalePreset(
     fig1_eval_samples=128,
     eval_samples=160,
     sense_samples=128,
+    mc_runs_devices=2,
+    mc_runs_retention=2,
+    retention_times=(1.0, 3.6e3, 2.592e6),  # write time, 1 hour, 1 month
 )
 
 DEFAULT = ScalePreset(
@@ -145,6 +157,9 @@ DEFAULT = ScalePreset(
     fig1_eval_samples=400,
     eval_samples=256,
     sense_samples=512,
+    mc_runs_devices=6,
+    mc_runs_retention=6,
+    retention_times=(1.0, 3.6e3, 8.64e4, 2.592e6),  # + 1 day
 )
 
 FULL = ScalePreset(
@@ -163,6 +178,9 @@ FULL = ScalePreset(
     fig1_eval_samples=10000,
     eval_samples=10000,
     sense_samples=4096,
+    mc_runs_devices=3000,
+    mc_runs_retention=3000,
+    retention_times=(1.0, 3.6e3, 8.64e4, 2.592e6, 3.1536e7),  # + 1 year
 )
 
 SCALES = {s.name: s for s in (SMOKE, DEFAULT, FULL)}

@@ -20,6 +20,8 @@ __all__ = [
     "render_fig1",
     "save_sweep_csv",
     "save_fig1_csv",
+    "save_devices_csv",
+    "save_retention_csv",
 ]
 
 
@@ -85,15 +87,53 @@ def render_fig1(result, workload="lenet-digits"):
 def save_sweep_csv(outcome, path):
     """Persist a SweepOutcome as CSV (one row per method x target)."""
     lines = ["workload,sigma,method,nwc_target,achieved_nwc,accuracy_mean,accuracy_std,runs"]
+    lines.extend(_sweep_rows(outcome))
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n")
+    return path
+
+
+def _sweep_rows(outcome, prefix=None):
+    """CSV rows (method x target) of one SweepOutcome.
+
+    ``prefix`` prepends an extra key column (technology, read time) for
+    the multi-sweep scenario CSVs.
+    """
+    lead = "" if prefix is None else f"{prefix},"
+    lines = []
     for method, curve in outcome.curves.items():
         means = curve.means()
         stds = curve.stds()
         for i, target in enumerate(curve.nwc_targets):
             lines.append(
-                f"{outcome.workload},{outcome.sigma},{method},{target},"
-                f"{curve.achieved_nwc[i]:.6f},{means[i]:.6f},{stds[i]:.6f},"
-                f"{curve.accuracy_runs.shape[0]}"
+                f"{lead}{outcome.workload},{outcome.sigma},{method},"
+                f"{target},{curve.achieved_nwc[i]:.6f},{means[i]:.6f},"
+                f"{stds[i]:.6f},{curve.accuracy_runs.shape[0]}"
             )
+    return lines
+
+
+def save_devices_csv(result, path):
+    """Persist a DevicesResult: one row per technology x method x target."""
+    lines = [
+        "technology,workload,sigma,method,nwc_target,achieved_nwc,"
+        "accuracy_mean,accuracy_std,runs"
+    ]
+    for name, outcome in result.outcomes.items():
+        lines.extend(_sweep_rows(outcome, name))
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n")
+    return path
+
+
+def save_retention_csv(result, path):
+    """Persist a RetentionResult: one row per read time x method x target."""
+    lines = [
+        "read_time_s,workload,sigma,method,nwc_target,achieved_nwc,"
+        "accuracy_mean,accuracy_std,runs"
+    ]
+    for t, outcome in sorted(result.outcomes.items()):
+        lines.extend(_sweep_rows(outcome, f"{t:g}"))
     with open(path, "w", encoding="utf-8") as handle:
         handle.write("\n".join(lines) + "\n")
     return path

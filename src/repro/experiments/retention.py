@@ -1,0 +1,123 @@
+"""Retention scenario: does SWIM's advantage survive conductance drift?
+
+Write-verify certifies precision *at programming time*; the paper stops
+there.  This scenario re-reads the same Monte Carlo population at a grid
+of later times (Table-1-over-time): one set of programming + verify
+draws per trial, then the deployed levels drift through the technology's
+read stage (power-law exponents fixed per device, so later rows really
+are the same chips aged further).  Because the RNG streams are shared
+across read times, differences down a column are purely drift — the
+paired design of the NWC sweeps extended along the time axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cim import format_duration, get_technology
+from repro.core.metrics import DEFAULT_NWC_TARGETS
+from repro.experiments.model_zoo import load_workload
+from repro.experiments.sweeps import run_method_sweep
+from repro.utils.rng import RngStream
+from repro.utils.tables import Table
+
+__all__ = ["RetentionResult", "run_retention", "render_retention"]
+
+RETENTION_METHODS = ("swim", "magnitude", "random")
+
+
+@dataclass
+class RetentionResult:
+    """Sweep outcomes keyed by read time, plus scenario metadata."""
+
+    workload: str
+    technology: str
+    clean_accuracy: float
+    nwc_targets: tuple
+    outcomes: dict = field(default_factory=dict)  # read time -> SweepOutcome
+
+
+def run_retention(scale, technology="pcm", times=None,
+                  nwc_targets=DEFAULT_NWC_TARGETS, methods=RETENTION_METHODS,
+                  workload="lenet-digits", seed=13, use_cache=True,
+                  batched=True, processes=None):
+    """Run the Table-1-over-time drift study.
+
+    Parameters
+    ----------
+    scale:
+        A :class:`~repro.experiments.config.ScalePreset`
+        (``mc_runs_retention`` trials, ``retention_times`` grid).
+    technology:
+        Registered technology name; ``pcm`` by default — the canonical
+        strongly drifting material.  Drift-free profiles (``mram``)
+        produce a constant table, which is itself the answer.
+    times:
+        Read-time grid in seconds (default: the preset's).  Must be
+        >= the retention model's ``t0`` (1 s).
+
+    Returns
+    -------
+    RetentionResult
+    """
+    times = tuple(times) if times is not None else tuple(scale.retention_times)
+    zoo = load_workload(scale.workload(workload), use_cache=use_cache)
+    # One shared stream for every read time: the same devices, programmed
+    # and verified with the same draws, observed later and later.
+    root = RngStream(seed).child("retention", technology)
+    result = RetentionResult(
+        workload=zoo.spec.key,
+        technology=technology,
+        clean_accuracy=zoo.clean_accuracy,
+        nwc_targets=tuple(nwc_targets),
+    )
+    for t in times:
+        result.outcomes[float(t)] = run_method_sweep(
+            zoo,
+            sigma=None,
+            technology=technology,
+            read_time=float(t),
+            nwc_targets=nwc_targets,
+            mc_runs=scale.mc_runs_retention,
+            rng=root,
+            eval_samples=scale.eval_samples,
+            sense_samples=scale.sense_samples,
+            methods=methods,
+            batched=batched,
+            processes=processes,
+        )
+    return result
+
+
+def render_retention(result):
+    """Table-1-over-time layout: rows (read time, method), columns NWC."""
+    tech = get_technology(result.technology)
+    retention = tech.retention_model()
+    headers = ["read time", "Method"] + [
+        f"NWC={t:g}" for t in result.nwc_targets
+    ]
+    table = Table(
+        headers,
+        title=(
+            f"Retention — {result.technology} ({result.workload}, "
+            f"clean {100 * result.clean_accuracy:.2f}%)"
+        ),
+    )
+    for t, outcome in sorted(result.outcomes.items()):
+        first = True
+        for method, curve in outcome.curves.items():
+            cells = [format_duration(t) if first else "", method]
+            for i in range(len(result.nwc_targets)):
+                stat = curve.mean_std(i)
+                cells.append(f"{100 * stat.mean:.2f} ± {100 * stat.std:.2f}")
+            table.add_row(cells)
+            first = False
+        table.add_separator()
+    parts = [table.render()]
+    if retention is not None:
+        shifts = ", ".join(
+            f"{format_duration(t)}: {100 * retention.mean_relative_shift(t):.1f}%"
+            for t in sorted(result.outcomes)
+        )
+        parts.append(f"(mean conductance loss — {shifts})")
+    return "\n".join(parts)

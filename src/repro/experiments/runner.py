@@ -6,6 +6,7 @@ Usage::
     python -m repro.experiments.runner fig1
     python -m repro.experiments.runner fig2a fig2b fig2c
     python -m repro.experiments.runner ablations
+    python -m repro.experiments.runner devices retention
     python -m repro.experiments.runner all --scale default
 
 Results print to stdout in the paper's layout and are saved as CSV under
@@ -21,6 +22,7 @@ import time
 
 from repro.experiments import ablations as ablation_mod
 from repro.experiments.config import get_scale
+from repro.experiments.devices import render_devices, run_devices
 from repro.experiments.fig1 import Fig1Config, run_fig1
 from repro.experiments.fig2 import FIG2_WORKLOADS, render_fig2_panel, run_fig2_panel
 from repro.experiments.model_zoo import load_workload
@@ -28,13 +30,17 @@ from repro.experiments.reporting import (
     render_ablation,
     render_fig1,
     results_dir,
+    save_devices_csv,
     save_fig1_csv,
+    save_retention_csv,
     save_sweep_csv,
 )
+from repro.experiments.retention import render_retention, run_retention
 from repro.experiments.table1 import render_table1, run_table1
 from repro.utils.rng import RngStream
 
-EXPERIMENTS = ("fig1", "table1", "fig2a", "fig2b", "fig2c", "ablations")
+EXPERIMENTS = ("fig1", "table1", "fig2a", "fig2b", "fig2c", "ablations",
+               "devices", "retention")
 
 
 def _run_fig1(scale, out_dir, batched=True):
@@ -64,6 +70,20 @@ def _run_fig2(scale, out_dir, panel, batched=True, processes=None):
     outcome = run_fig2_panel(scale, panel, batched=batched, processes=processes)
     print(render_fig2_panel(outcome, panel))
     path = save_sweep_csv(outcome, os.path.join(out_dir, f"fig2{panel}.csv"))
+    print(f"[saved {path}]")
+
+
+def _run_devices(scale, out_dir, batched=True, processes=None):
+    result = run_devices(scale, batched=batched, processes=processes)
+    print(render_devices(result))
+    path = save_devices_csv(result, os.path.join(out_dir, "devices.csv"))
+    print(f"[saved {path}]")
+
+
+def _run_retention(scale, out_dir, batched=True, processes=None):
+    result = run_retention(scale, batched=batched, processes=processes)
+    print(render_retention(result))
+    path = save_retention_csv(result, os.path.join(out_dir, "retention.csv"))
     print(f"[saved {path}]")
 
 
@@ -124,6 +144,12 @@ def main(argv=None):
         elif name.startswith("fig2"):
             _run_fig2(scale, out_dir, name[-1], batched=batched,
                       processes=args.processes)
+        elif name == "devices":
+            _run_devices(scale, out_dir, batched=batched,
+                         processes=args.processes)
+        elif name == "retention":
+            _run_retention(scale, out_dir, batched=batched,
+                           processes=args.processes)
         elif name == "ablations":
             _run_ablations(scale, out_dir)
         print(f"[{name} took {time.time() - start:.1f}s]")

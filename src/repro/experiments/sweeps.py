@@ -21,7 +21,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.cim import CimAccelerator, DeviceConfig, MappingConfig
+from repro.cim import (
+    CimAccelerator,
+    DeviceConfig,
+    MappingConfig,
+    resolve_technology,
+)
 from repro.core import (
     InSituConfig,
     InSituTrainer,
@@ -68,13 +73,21 @@ class MethodCurve:
 
 @dataclass
 class SweepOutcome:
-    """All method curves for one workload at one device sigma."""
+    """All method curves for one workload at one device sigma.
+
+    ``technology`` / ``read_time`` / ``wear`` are populated by
+    technology-aware sweeps (the devices and retention scenarios) and
+    stay at their defaults for the paper's plain sigma sweeps.
+    """
 
     workload: str
     sigma: float
     clean_accuracy: float
     nwc_targets: tuple
     curves: dict = field(default_factory=dict)
+    technology: str = ""
+    read_time: float = None
+    wear: dict = None
 
     def curve(self, method):
         """Look up one method's curve."""
@@ -128,7 +141,7 @@ def _insitu_row(zoo, accelerator, nwc_targets, run_rng, eval_x, eval_y,
 
 def _batched_sweep(engine, zoo, accelerator, space, orders, methods, counts,
                    nwc_targets, eval_x, eval_y, insitu_lr, acc_store,
-                   nwc_store):
+                   nwc_store, read_time=None):
     """Trial-batched sweep body: fills the per-method stores in place.
 
     Each block of trials is programmed from its per-trial substreams
@@ -176,7 +189,7 @@ def _batched_sweep(engine, zoo, accelerator, space, orders, methods, counts,
                 else:
                     masks = shared_masks[method][i]
                 nwc_store[method][block, i] = accelerator.apply_selection_trials(
-                    masks
+                    masks, read_time=read_time, read_streams=streams
                 )
                 acc_store[method][block, i] = evaluate_accuracy_trials(
                     zoo.model, eval_x, eval_y, len(block)
@@ -195,7 +208,8 @@ def _batched_sweep(engine, zoo, accelerator, space, orders, methods, counts,
 
 
 def _scalar_sweep_trial(run_rng, zoo, accelerator, space, orders, methods,
-                        counts, nwc_targets, eval_x, eval_y, insitu_lr):
+                        counts, nwc_targets, eval_x, eval_y, insitu_lr,
+                        read_time=None):
     """One scalar Monte Carlo trial: rows for every method.
 
     Returns ``method -> (accuracy_row, nwc_row)``; factored out so the
@@ -219,7 +233,9 @@ def _scalar_sweep_trial(run_rng, zoo, accelerator, space, orders, methods,
         achieved = np.empty(len(counts), dtype=np.float64)
         for i, count in enumerate(counts):
             masks = space.masks_from_indices(order[:count])
-            achieved[i] = accelerator.apply_selection(masks)
+            achieved[i] = accelerator.apply_selection(
+                masks, read_time=read_time, read_stream=run_rng
+            )
             accuracies[i] = evaluate_accuracy(zoo.model, eval_x, eval_y)
         rows[method] = (accuracies, achieved)
 
@@ -246,6 +262,8 @@ def run_method_sweep(
     batched=True,
     processes=None,
     trial_block=None,
+    technology=None,
+    read_time=None,
 ):
     """Run the full paired Monte Carlo sweep for one workload and sigma.
 
@@ -255,6 +273,7 @@ def run_method_sweep(
         A :class:`~repro.experiments.model_zoo.ZooModel`.
     sigma:
         Device programming noise (fraction of full-scale) before verify.
+        May be None when ``technology`` is given (the profile's sigma).
     nwc_targets:
         NWC grid, e.g. the paper's ``(0, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0)``.
     mc_runs:
@@ -268,7 +287,7 @@ def run_method_sweep(
     insitu_lr:
         On-chip learning rate of the in-situ baseline.
     device_bits:
-        K (paper: 4).
+        K (paper: 4).  Ignored when ``technology`` supplies the cell.
     curvature_batches:
         Batches accumulated in SWIM's curvature pass.
     batched:
@@ -280,17 +299,36 @@ def run_method_sweep(
         workers) for workloads too large to batch in memory.
     trial_block:
         Trials per batched block (default: memory-bounded heuristic).
+    technology:
+        Registered :class:`~repro.cim.DeviceTechnology` name (or
+        instance): derives the device config and the full nonideality
+        stack (drift, spatial correlation, endurance) from the profile.
+    read_time:
+        Seconds since programming at which the deployed weights are
+        read; only meaningful when the technology's stack models drift.
+        The in-situ baseline has no deployment-time read, so it is not
+        supported together with ``read_time``.
 
     Returns
     -------
     SweepOutcome
     """
     model, data, spec = zoo.model, zoo.data, zoo.spec
-    mapping = MappingConfig(
-        weight_bits=spec.weight_bits,
-        device=DeviceConfig(bits=device_bits, sigma=sigma),
-    )
-    accelerator = CimAccelerator(model, mapping_config=mapping)
+    if read_time is not None and "insitu" in methods:
+        raise ValueError("the insitu baseline does not support read_time")
+    stack = None
+    tech_name = ""
+    if technology is not None:
+        tech = resolve_technology(technology)
+        tech_name = tech.name
+        device = tech.device_config()
+        if sigma is not None:
+            device = device.with_sigma(sigma)
+        stack = tech.build_stack()
+    else:
+        device = DeviceConfig(bits=device_bits, sigma=sigma)
+    mapping = MappingConfig(weight_bits=spec.weight_bits, device=device)
+    accelerator = CimAccelerator(model, mapping_config=mapping, stack=stack)
     space = WeightSpace.from_model(model)
 
     eval_x = data.test_x[:eval_samples]
@@ -325,12 +363,14 @@ def run_method_sweep(
         _batched_sweep(
             engine, zoo, accelerator, space, orders, methods, counts,
             nwc_targets, eval_x, eval_y, insitu_lr, acc_store, nwc_store,
+            read_time=read_time,
         )
     else:
         rows_per_trial = engine.map_trials(
             lambda i: _scalar_sweep_trial(
                 engine.substream(i), zoo, accelerator, space, orders,
                 methods, counts, nwc_targets, eval_x, eval_y, insitu_lr,
+                read_time=read_time,
             )
         )
         for run, rows in enumerate(rows_per_trial):
@@ -338,12 +378,16 @@ def run_method_sweep(
                 acc_store[method][run] = accuracies
                 nwc_store[method][run] = achieved
 
+    wear = accelerator.wear_summary()
     accelerator.clear()
     outcome = SweepOutcome(
         workload=spec.key,
-        sigma=sigma,
+        sigma=device.sigma,
         clean_accuracy=zoo.clean_accuracy,
         nwc_targets=tuple(nwc_targets),
+        technology=tech_name,
+        read_time=read_time,
+        wear=wear,
     )
     for method in methods:
         outcome.curves[method] = MethodCurve(

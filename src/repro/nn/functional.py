@@ -130,13 +130,21 @@ def log_softmax(logits, axis=-1):
     return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
 
 
-def one_hot(labels, num_classes, dtype=np.float64):
-    """One-hot encode integer labels of shape (N,) into (N, num_classes)."""
+def one_hot(labels, num_classes, dtype=None, like=None):
+    """One-hot encode integer labels of shape (N,) into (N, num_classes).
+
+    The dtype is taken from ``dtype`` when given, else derived from
+    ``like`` (typically the logits array), else float64.  Deriving from
+    the logits keeps float32 models float32 through the loss/backward
+    path instead of silently upcasting everything downstream.
+    """
     labels = np.asarray(labels, dtype=np.int64)
     if labels.ndim != 1:
         raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
     if labels.min(initial=0) < 0 or labels.max(initial=0) >= num_classes:
         raise ValueError("labels out of range")
+    if dtype is None:
+        dtype = np.asarray(like).dtype if like is not None else np.float64
     out = np.zeros((labels.size, num_classes), dtype=dtype)
     out[np.arange(labels.size), labels] = 1
     return out

@@ -63,9 +63,10 @@ class CrossEntropyLoss:
         probs = self._cache["probs"]
         targets = self._cache["targets"]
         n = self._cache["n"]
-        grad = probs.copy()
-        grad[np.arange(n), targets] -= 1.0
-        return grad / n
+        # one_hot derives its dtype from the probabilities (hence the
+        # logits), so float32 models stay float32 through backward.
+        y = F.one_hot(targets, self._cache["num_classes"], like=probs)
+        return (probs - y) / n
 
     def second(self):
         """Diagonal curvature w.r.t. logits: ``p (1 - p) / N`` (Eq. 11)."""

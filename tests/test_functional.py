@@ -103,3 +103,28 @@ def test_one_hot_basics():
         F.one_hot(np.array([3]), 3)
     with pytest.raises(ValueError, match="1-D"):
         F.one_hot(np.zeros((2, 2), dtype=np.int64), 3)
+
+
+def test_one_hot_dtype_derivation():
+    labels = np.array([0, 1])
+    # Default stays float64; `like` derives from the logits; explicit wins.
+    assert F.one_hot(labels, 2).dtype == np.float64
+    logits32 = np.zeros((2, 2), dtype=np.float32)
+    assert F.one_hot(labels, 2, like=logits32).dtype == np.float32
+    assert F.one_hot(labels, 2, dtype=np.float16, like=logits32).dtype == np.float16
+
+
+def test_cross_entropy_backward_preserves_float32():
+    """Float32 models must not be upcast through the loss backward path."""
+    from repro.nn.losses import CrossEntropyLoss
+
+    logits = np.random.default_rng(0).normal(size=(8, 4)).astype(np.float32)
+    targets = np.arange(8) % 4
+    loss = CrossEntropyLoss()
+    loss(logits, targets)
+    grad = loss.backward()
+    assert grad.dtype == np.float32
+    # Gradient identity (p - y) / N against the float64 reference.
+    loss64 = CrossEntropyLoss()
+    loss64(logits.astype(np.float64), targets)
+    np.testing.assert_allclose(grad, loss64.backward(), atol=1e-7)

@@ -15,22 +15,25 @@ import sys
 import pytest
 
 
-@pytest.mark.slow
-def test_runner_table1_smoke_writes_csvs(tmp_path):
-    results = tmp_path / "results"
+def _run_runner(results, *experiments):
     env = dict(os.environ)
     src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
     env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
     env["REPRO_RESULTS_DIR"] = str(results)
-
-    proc = subprocess.run(
-        [sys.executable, "-m", "repro.experiments.runner", "table1",
+    return subprocess.run(
+        [sys.executable, "-m", "repro.experiments.runner", *experiments,
          "--scale", "smoke"],
         env=env,
         capture_output=True,
         text=True,
         timeout=900,
     )
+
+
+@pytest.mark.slow
+def test_runner_table1_smoke_writes_csvs(tmp_path):
+    results = tmp_path / "results"
+    proc = _run_runner(results, "table1")
     assert proc.returncode == 0, proc.stderr[-2000:]
     assert "Table 1" in proc.stdout
 
@@ -42,3 +45,23 @@ def test_runner_table1_smoke_writes_csvs(tmp_path):
     ]
     header = (results / csvs[0]).read_text(encoding="utf-8").splitlines()[0]
     assert header.startswith("workload,sigma,method")
+
+
+@pytest.mark.slow
+def test_runner_devices_retention_smoke_writes_csvs(tmp_path):
+    """The device-stack scenarios run green end to end from the CLI."""
+    results = tmp_path / "results"
+    proc = _run_runner(results, "devices", "retention")
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert "Technology summary" in proc.stdout
+    assert "Retention — pcm" in proc.stdout
+
+    devices = (results / "devices.csv").read_text(encoding="utf-8").splitlines()
+    assert devices[0].startswith("technology,workload,sigma,method")
+    technologies = {line.split(",")[0] for line in devices[1:]}
+    assert technologies >= {"fefet", "rram", "pcm", "mram"}
+
+    retention = (results / "retention.csv").read_text(encoding="utf-8").splitlines()
+    assert retention[0].startswith("read_time_s,workload,sigma,method")
+    times = {float(line.split(",")[0]) for line in retention[1:]}
+    assert len(times) >= 2 and 1.0 in times
