@@ -1,0 +1,115 @@
+"""Benchmark: analytic variance map vs Monte Carlo estimation.
+
+The variance-closure subsystem feeds Eq. 5 selection with the per-weight
+``E[dw^2]`` of the device stack.  The analytic
+:meth:`~repro.cim.devices.NonidealityStack.variance_map` must stay (a)
+accurate against the empirical per-weight second moment and (b) orders of
+magnitude cheaper than estimating it by simulation — that speedup is what
+makes stack-fed hetero-SWIM rankings free at sweep time.  This bench
+tracks both across the built-in technologies on the LeNet workload and
+writes ``$REPRO_RESULTS_DIR/BENCH_variance.json`` (CI uploads it)::
+
+    PYTHONPATH=src python benchmarks/bench_variance_map.py          # default
+    PYTHONPATH=src python benchmarks/bench_variance_map.py --smoke  # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+ONE_MONTH = 2.592e6
+
+
+def bench_technology(zoo, name, n_trials, seed=29):
+    """Time analytic vs empirical variance maps for one technology."""
+    from repro.cim import resolve_technology
+    from repro.core import WeightSpace
+    from repro.utils.rng import RngStream
+
+    tech = resolve_technology(name)
+    mapping = tech.mapping_config(weight_bits=zoo.spec.weight_bits)
+    stack = tech.build_stack()
+    space = WeightSpace.from_model(zoo.model)
+    read_time = ONE_MONTH if tech.has_drift else None
+
+    start = time.perf_counter()
+    analytic = stack.variance_map(
+        mapping, read_time=read_time, space=space, model=zoo.model
+    )
+    analytic_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    empirical = stack.empirical_variance_map(
+        mapping, n_trials, RngStream(seed).child("var", name),
+        read_time=read_time, space=space, model=zoo.model,
+    )
+    empirical_seconds = time.perf_counter() - start
+
+    ratio = empirical / np.maximum(analytic, 1e-30)
+    return {
+        "technology": tech.name,
+        "read_time_s": read_time,
+        "weights": int(space.total_size),
+        "mc_trials": int(n_trials),
+        "analytic_seconds": analytic_seconds,
+        "empirical_seconds": empirical_seconds,
+        "speedup": empirical_seconds / max(analytic_seconds, 1e-12),
+        "ratio_mean": float(ratio.mean()),
+        "ratio_p05": float(np.quantile(ratio, 0.05)),
+        "ratio_p95": float(np.quantile(ratio, 0.95)),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Benchmark the analytic device-stack variance map."
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="seconds-scale sanity run (CI)")
+    parser.add_argument("--trials", type=int, default=None,
+                        help="Monte Carlo trials for the empirical map "
+                             "(default: 64 smoke, 256 otherwise)")
+    parser.add_argument("--output", default=None,
+                        help="JSON output path (default: "
+                             "$REPRO_RESULTS_DIR/BENCH_variance.json)")
+    args = parser.parse_args(argv)
+
+    from repro.cim import technology_names
+    from repro.experiments.config import get_scale
+    from repro.experiments.model_zoo import load_workload
+    from repro.experiments.reporting import results_dir
+
+    scale = get_scale("smoke" if args.smoke else "default")
+    n_trials = args.trials or (64 if args.smoke else 256)
+    zoo = load_workload(scale.workload("lenet-digits"))
+    report = {"scale": scale.name, "workload": zoo.spec.key,
+              "technologies": []}
+
+    print(f"# bench_variance_map — scale: {scale.name}, "
+          f"{n_trials} MC trials")
+    for name in technology_names():
+        row = bench_technology(zoo, name, n_trials)
+        report["technologies"].append(row)
+        print(
+            f"{name}: analytic {1e3 * row['analytic_seconds']:.1f}ms vs "
+            f"MC {row['empirical_seconds']:.2f}s ({row['speedup']:.0f}x), "
+            f"ratio mean {row['ratio_mean']:.3f} "
+            f"[p05 {row['ratio_p05']:.3f}, p95 {row['ratio_p95']:.3f}]"
+        )
+
+    out_path = args.output or os.path.join(results_dir(), "BENCH_variance.json")
+    os.makedirs(os.path.dirname(os.path.abspath(out_path)), exist_ok=True)
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+    print(f"[saved {out_path}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

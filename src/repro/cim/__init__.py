@@ -20,6 +20,7 @@ from repro.cim.devices import (
     DEFAULT_TECHNOLOGY,
     DeviceConfig,
     DeviceTechnology,
+    DriftCompensationStage,
     EnduranceModel,
     EnduranceObserver,
     NonidealityStack,
@@ -58,6 +59,7 @@ __all__ = [
     "DEFAULT_TECHNOLOGY",
     "DeviceConfig",
     "DeviceTechnology",
+    "DriftCompensationStage",
     "EnduranceModel",
     "EnduranceObserver",
     "MappedTensor",

@@ -134,6 +134,28 @@ class CimAccelerator:
             for name, mapped in self._mapped.items()
         }
 
+    def variance_map(self, read_time=None, wear_inflation=1.0):
+        """Per-weight unverified-deployment variance from this stack.
+
+        The analytic ``E[dw_i^2]`` of
+        :meth:`~repro.cim.devices.NonidealityStack.variance_map` for
+        every mapped tensor of this accelerator (write variance through
+        the actual quantization scales, drift at ``read_time``,
+        compensation if staged), as a ``name -> weight-shaped array``
+        dict — the physics side of Eq. 5 selection.
+        """
+        self.map_model()
+        return {
+            name: self.stack.variance_map(
+                self.mapping_config,
+                read_time=read_time,
+                levels=mapped.levels,
+                scale=mapped.scale,
+                wear_inflation=wear_inflation,
+            )
+            for name, mapped in self._mapped.items()
+        }
+
     # ---------------------------------------------------------- programming
 
     def program(self, rng):

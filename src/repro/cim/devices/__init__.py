@@ -35,6 +35,7 @@ from repro.cim.devices.registry import (
 from repro.cim.devices.retention import RetentionModel
 from repro.cim.devices.spatial import SpatialVariationModel
 from repro.cim.devices.stack import (
+    DriftCompensationStage,
     NonidealityStack,
     NonidealityStage,
     ProgrammingNoiseStage,
@@ -47,6 +48,7 @@ __all__ = [
     "DEFAULT_TECHNOLOGY",
     "DeviceConfig",
     "DeviceTechnology",
+    "DriftCompensationStage",
     "EnduranceModel",
     "EnduranceObserver",
     "NonidealityStack",

@@ -26,6 +26,7 @@ from repro.cim.devices.endurance import EnduranceModel, EnduranceObserver
 from repro.cim.devices.retention import RetentionModel
 from repro.cim.devices.spatial import SpatialVariationModel
 from repro.cim.devices.stack import (
+    DriftCompensationStage,
     NonidealityStack,
     ProgrammingNoiseStage,
     RetentionDriftStage,
@@ -65,6 +66,10 @@ class DeviceTechnology:
         disables the spatial write stage.
     endurance_cycles:
         Program/erase budget for the endurance observer.
+    drift_compensated:
+        When True (and the technology drifts), the read pipeline appends a
+        :class:`~repro.cim.devices.stack.DriftCompensationStage` — the
+        global mean-decay rescale PCM platforms apply at read time.
     """
 
     name: str
@@ -78,6 +83,7 @@ class DeviceTechnology:
     correlation_length: float = 8.0
     global_fraction: float = 0.2
     endurance_cycles: float = 1e6
+    drift_compensated: bool = False
 
     # ------------------------------------------------------------ factories
 
@@ -133,8 +139,9 @@ class DeviceTechnology:
 
         Write order is programming noise, then spatial correlation (the
         fabrication field sits on top of whatever each pulse achieved);
-        retention drift is the read stage; endurance rides along as an
-        observer.
+        retention drift is the read stage, followed by the global
+        mean-decay rescale when ``drift_compensated`` is set; endurance
+        rides along as an observer.
         """
         stages = [ProgrammingNoiseStage()]
         spatial = self.spatial_model()
@@ -143,6 +150,8 @@ class DeviceTechnology:
         retention = self.retention_model()
         if retention is not None:
             stages.append(RetentionDriftStage(retention))
+            if self.drift_compensated:
+                stages.append(DriftCompensationStage(retention))
         return NonidealityStack(
             stages=stages,
             observers=(EnduranceObserver(self.endurance_model()),),
@@ -244,6 +253,41 @@ register_technology(DeviceTechnology(
     drift_sigma_nu=0.010,
     relaxation_sigma=0.005,
     endurance_cycles=1e8,
+))
+
+register_technology(DeviceTechnology(
+    name="pcm-comp",
+    description=(
+        "Phase-change memory with global drift compensation: the same "
+        "cells as 'pcm', but the read path rescales away the mean "
+        "power-law decay (time-aware sensing), leaving exponent spread "
+        "and relaxation"
+    ),
+    bits=4,
+    sigma=0.12,
+    drift_nu=0.05,
+    drift_sigma_nu=0.010,
+    relaxation_sigma=0.005,
+    endurance_cycles=1e8,
+    drift_compensated=True,
+))
+
+register_technology(DeviceTechnology(
+    name="fefet-spatial",
+    description=(
+        "FeFET CiM with fabrication-correlated variation: the paper's "
+        "operating point plus a spatially correlated error field, so "
+        "unverified weights fail in clusters (paper Sec. 2.1)"
+    ),
+    bits=4,
+    sigma=0.10,
+    drift_nu=0.002,
+    drift_sigma_nu=0.001,
+    relaxation_sigma=0.002,
+    spatial_sigma=0.10,
+    correlation_length=8.0,
+    global_fraction=0.2,
+    endurance_cycles=1e7,
 ))
 
 register_technology(DeviceTechnology(

@@ -29,11 +29,17 @@ nonideality stack (:mod:`repro.cim.devices.stack`) honors.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
 
 __all__ = ["RetentionModel"]
+
+
+def _norm_cdf(x):
+    """Standard normal CDF via the error function (no SciPy needed)."""
+    return 0.5 * (1.0 + math.erf(x / math.sqrt(2.0)))
 
 
 @dataclass(frozen=True)
@@ -133,6 +139,62 @@ class RetentionModel:
                 for i, rng in enumerate(trial_rngs)
             ]
         )
+
+    def decay_moments(self, t):
+        """Exact first two moments of the multiplicative decay at ``t``.
+
+        The per-device decay is ``D = (t/t0) ** (-max(nu_i, 0))`` with
+        ``nu_i ~ N(nu, sigma_nu^2)`` — the clipped-Gaussian exponent model
+        :meth:`apply` draws from.  Both moments are closed-form through the
+        truncated-Gaussian moment generating function::
+
+            E[exp(-s max(X, 0))] = Phi(-mu/s_x)
+                + exp(-s mu + s^2 s_x^2 / 2) * Phi(mu/s_x - s s_x)
+
+        with ``s = k * ln(t/t0)``, so the analytic variance map and the
+        drift-compensation rescale agree with Monte Carlo draws exactly
+        (not just to first order in ``nu``).
+
+        Returns
+        -------
+        tuple
+            ``(E[D], E[D^2])``; both are 1.0 at ``t == t0``.
+        """
+        if t < self.t0:
+            raise ValueError(f"t={t} must be >= t0={self.t0}")
+        a = math.log(t / self.t0)
+        if a == 0.0 or (self.nu == 0.0 and self.sigma_nu == 0.0):
+            return 1.0, 1.0
+        if self.sigma_nu == 0.0:
+            m1 = math.exp(-a * self.nu)
+            return m1, m1 * m1
+
+        def moment(k):
+            s = k * a
+            z0 = self.nu / self.sigma_nu
+            return _norm_cdf(-z0) + math.exp(
+                -s * self.nu + 0.5 * (s * self.sigma_nu) ** 2
+            ) * _norm_cdf(z0 - s * self.sigma_nu)
+
+        return moment(1), moment(2)
+
+    def mean_decay(self, t):
+        """Expected multiplicative decay ``E[D]`` at time ``t``.
+
+        This is the factor a drift-compensated platform divides out at
+        read time (global conductance rescale calibrated on reference
+        cells); see :class:`~repro.cim.devices.stack.DriftCompensationStage`.
+        """
+        return self.decay_moments(t)[0]
+
+    def relaxation_variance(self, t, device_max_level=15):
+        """Variance (level units^2) of the log-time relaxation term at ``t``."""
+        if t < self.t0:
+            raise ValueError(f"t={t} must be >= t0={self.t0}")
+        if self.relaxation_sigma == 0.0:
+            return 0.0
+        decades = math.log10(t / self.t0)
+        return (self.relaxation_sigma * device_max_level) ** 2 * decades
 
     def mean_relative_shift(self, t):
         """Expected multiplicative conductance loss at time ``t``."""

@@ -44,6 +44,7 @@ __all__ = [
     "ProgrammingNoiseStage",
     "SpatialCorrelationStage",
     "RetentionDriftStage",
+    "DriftCompensationStage",
     "NonidealityStack",
 ]
 
@@ -175,6 +176,39 @@ class RetentionDriftStage(NonidealityStage):
         return out
 
 
+class DriftCompensationStage(NonidealityStage):
+    """Global conductance rescale cancelling the mean drift at read time.
+
+    PCM platforms track the decay of reference cells and rescale the whole
+    array's readout accordingly (time-aware sensing / global scaling).
+    This stage models that: it runs *after* :class:`RetentionDriftStage`
+    and divides every level by the drift model's exact mean decay
+    ``E[(t/t0) ** (-max(nu, 0))]`` (see
+    :meth:`~repro.cim.devices.retention.RetentionModel.decay_moments`).
+    The deterministic part of the power-law decay cancels; the
+    device-to-device exponent spread and the relaxation noise remain —
+    compensation recovers the mean, not the variance.
+
+    The stage draws nothing from its RNG substream, and at ``t == t0``
+    (or ``t=None``) the factor is exactly 1 and the levels pass through
+    untouched — a bitwise no-op at the read-after-write reference time.
+    """
+
+    name = "drift-compensation"
+    when = "read"
+
+    def __init__(self, model):
+        self.model = model
+
+    def apply(self, levels, ctx, rng, t=None):
+        if t is None:
+            return levels
+        factor = self.model.mean_decay(t)
+        if factor == 1.0:
+            return levels
+        return np.asarray(levels, dtype=np.float64) / factor
+
+
 class NonidealityStack:
     """Ordered nonideality stages plus passive observers.
 
@@ -287,6 +321,255 @@ class NonidealityStack:
             ],
             axis=1,
         )
+
+    # ------------------------------------------------------- variance closure
+
+    def variance_map(self, mapping_config, read_time=None, shape=None,
+                     space=None, model=None, levels=None, scale=1.0,
+                     wear_inflation=1.0):
+        """Analytic per-weight perturbation variance ``E[dw_i^2]``, weight units.
+
+        This closes the loop between the device physics and Eq. 5
+        selection: instead of the constant per-tensor Eq. 16 variance,
+        the stack composes what its own stages actually do to an
+        *unverified* weight —
+
+        - **write variance**: per-slice programming-noise sigma through
+          the quantization scale and positional slice weights (doubled in
+          differential mode), plus the marginal variance of any
+          :class:`SpatialCorrelationStage` (correlation moves covariance,
+          not the per-device marginal), optionally inflated by
+          ``wear_inflation`` for aged cells;
+        - **drift at the read time**: a :class:`RetentionDriftStage`
+          multiplies the programmed level (signal and noise alike) by the
+          random decay ``D``, whose exact clipped-Gaussian moments give
+          the bias term ``(E[D]-1)^2 code^2``, the level-dependent spread
+          ``Var(D) L_i^2``, and the ``E[D^2]`` shrink of the write noise,
+          plus the log-time relaxation variance;
+        - **compensation**: a :class:`DriftCompensationStage` divides all
+          moments by the mean decay, cancelling the bias exactly.
+
+        The result is the second moment of ``w_read - w_desired`` for a
+        programmed-but-not-verified weight — the ``E[dw_i^2]`` that
+        Eq. 5 pairs with the curvature diagonal — and matches
+        :meth:`empirical_variance_map` draw-for-draw in distribution.
+
+        Parameters
+        ----------
+        mapping_config:
+            The :class:`~repro.cim.mapping.MappingConfig` in use.
+        read_time:
+            Seconds since programming (None = read-after-write: read
+            stages do not apply, matching :meth:`read`).
+        shape:
+            Tensor mode: return an array of this weight shape.  Pass
+            ``levels`` (slice-major desired levels) for the
+            level-dependent drift terms and ``scale`` (dequantization
+            scale) for weight units; without ``levels`` the map is the
+            level-independent noise floor.
+        space / model:
+            Model mode: a :class:`~repro.core.selection.WeightSpace` plus
+            the model itself; every mapped tensor is quantized to get its
+            scale and desired levels, and the flat concatenated variance
+            vector is returned.
+        wear_inflation:
+            Multiplier on the programming-noise variance modeling
+            write-precision loss of worn cells (1.0 = fresh devices).
+
+        Returns
+        -------
+        numpy.ndarray
+            Weight-shaped array (tensor mode) or flat vector (model
+            mode) of per-weight ``E[dw^2]`` in weight units.
+        """
+        if space is not None:
+            if model is None:
+                raise ValueError("variance_map(space=...) requires model=")
+            from repro.cim.mapping import WeightMapper
+
+            mapper = WeightMapper(mapping_config)
+            params = dict(model.named_parameters())
+            per_tensor = {}
+            for name in space.names:
+                mapped = mapper.map_tensor(params[name].data)
+                per_tensor[name] = self._tensor_variance(
+                    mapping_config, mapped.levels, mapped.scale,
+                    read_time, wear_inflation,
+                )
+            return space.flatten(per_tensor)
+        if levels is not None:
+            levels = np.asarray(levels, dtype=np.float64)
+            if shape is not None and tuple(shape) != levels.shape[1:]:
+                raise ValueError(
+                    f"shape {tuple(shape)} != levels weight shape "
+                    f"{levels.shape[1:]}"
+                )
+            return self._tensor_variance(
+                mapping_config, levels, scale, read_time, wear_inflation
+            )
+        if shape is None:
+            raise ValueError("variance_map needs shape=, levels= or space=")
+        return self._tensor_variance(
+            mapping_config, None, scale, read_time, wear_inflation,
+            shape=tuple(shape),
+        )
+
+    def _read_moment_state(self, read_time, pos, max_levels):
+        """Fold the read stages into moment factors for one tensor.
+
+        Tracks the moments of a programmed level ``g`` through the read
+        pipeline as ``E[g] = mf * L`` and ``E[g^2] = A L^2 + B v_write +
+        relax`` (``relax`` per slice in code units): drift multiplies
+        ``(mf, A, B)`` by its decay moments and adds relaxation variance;
+        compensation divides by the mean decay.
+        """
+        mf, second_l2, second_noise = 1.0, 1.0, 1.0
+        relax = np.zeros(len(max_levels))
+        if read_time is None:
+            return mf, second_l2, second_noise, relax
+        for stage in self.read_stages:
+            if isinstance(stage, RetentionDriftStage):
+                m1, m2 = stage.model.decay_moments(read_time)
+                mf *= m1
+                second_l2 *= m2
+                second_noise *= m2
+                relax = relax * m2 + pos ** 2 * np.array([
+                    stage.model.relaxation_variance(read_time, lv)
+                    for lv in max_levels
+                ])
+            elif isinstance(stage, DriftCompensationStage):
+                c = stage.model.mean_decay(read_time)
+                mf /= c
+                second_l2 /= c ** 2
+                second_noise /= c ** 2
+                relax = relax / c ** 2
+            else:
+                raise NotImplementedError(
+                    f"variance_map has no analytic model for read stage "
+                    f"{stage!r}; use empirical_variance_map for custom "
+                    "stacks"
+                )
+        return mf, second_l2, second_noise, relax
+
+    def _tensor_variance(self, mapping_config, levels, scale, read_time,
+                         wear_inflation, shape=None):
+        """Per-weight ``E[dw^2]`` for one tensor (weight units).
+
+        Only the built-in stage types have analytic models; a stack
+        holding a custom :class:`NonidealityStage` subclass fails loudly
+        rather than returning a map the deployment would not obey
+        (:meth:`empirical_variance_map` works for any composition).
+        """
+        programming_stages = 0
+        spatial_var = 0.0
+        for stage in self.write_stages:
+            if isinstance(stage, ProgrammingNoiseStage):
+                programming_stages += 1
+            elif isinstance(stage, SpatialCorrelationStage):
+                spatial_var += float(stage.model.sigma) ** 2
+            else:
+                raise NotImplementedError(
+                    f"variance_map has no analytic model for write stage "
+                    f"{stage!r}; use empirical_variance_map for custom "
+                    "stacks"
+                )
+        reads_apply = read_time is not None and self.has_read_stages
+        if shape is None:
+            shape = levels.shape[1:]
+        if (programming_stages == 1 and spatial_var == 0.0
+                and not reads_apply and wear_inflation == 1.0):
+            # Pure homogeneous programming noise: reproduce the constant
+            # Eq. 16 map bit-for-bit (the historical
+            # ``variance_map_from_mapping`` arithmetic).
+            std_w = mapping_config.code_noise_std() * scale
+            return np.full(shape, std_w ** 2)
+
+        pos = mapping_config.slice_weights.astype(np.float64)
+        max_levels = mapping_config.slice_max_levels.astype(np.float64)
+        sigmas = mapping_config.slice_sigma_levels()
+        write_var = (
+            (sigmas * pos) ** 2 * float(wear_inflation) * programming_stages
+        )
+        if mapping_config.differential:
+            write_var = 2.0 * write_var
+        write_var = write_var + spatial_var * (max_levels * pos) ** 2
+
+        mf, second_l2, second_noise, relax = self._read_moment_state(
+            read_time, pos, max_levels
+        )
+        noise_floor = float(np.sum(second_noise * write_var + relax))
+        # Var(D) and bias factors; clamp float cancellation at ~0 so the
+        # map is non-negative by construction.
+        spread = max(second_l2 - mf ** 2, 0.0)
+        bias = (mf - 1.0) ** 2
+        if levels is None or (spread == 0.0 and bias == 0.0):
+            var_code = np.full(shape, noise_floor)
+        else:
+            codes = np.tensordot(pos, levels, axes=(0, 0))
+            level_sq = np.tensordot(pos ** 2, levels ** 2, axes=(0, 0))
+            var_code = spread * level_sq + bias * codes ** 2 + noise_floor
+        return var_code * float(scale) ** 2
+
+    def empirical_variance_map(self, mapping_config, n_trials, rng,
+                               read_time=None, space=None, model=None,
+                               levels=None, scale=1.0):
+        """Monte-Carlo estimate of :meth:`variance_map` (same modes).
+
+        Programs every tensor ``n_trials`` times through the write
+        stages (no verify), reads at ``read_time`` through the read
+        stages, and returns the per-weight empirical second moment of the
+        weight error.  The RNG discipline mirrors
+        :class:`~repro.cim.accelerator.CimAccelerator`: trial ``i`` draws
+        programming noise from ``rng.child("mc", i).child("program")``
+        (one generator shared across tensors) and drift from the
+        per-tensor substream ``.child("read", name)`` — so the estimate
+        samples exactly the distribution the accelerator deploys.
+
+        Parameters
+        ----------
+        mapping_config / read_time / space / model / levels / scale:
+            As in :meth:`variance_map`.
+        n_trials:
+            Monte Carlo draws (the validation tests use >= 256).
+        rng:
+            Parent :class:`~repro.utils.rng.RngStream`.
+        """
+        streams = [rng.child("mc", i) for i in range(int(n_trials))]
+        gens = [s.child("program").generator for s in streams]
+        ctx = StageContext.from_mapping(mapping_config)
+        pos = mapping_config.slice_weights.astype(np.float64)
+
+        def estimate(name, desired_levels, signs, tensor_scale, ideal):
+            programmed = self.program_trials(desired_levels, ctx, gens)
+            if read_time is not None:
+                children = [s.child("read", name) for s in streams]
+                programmed = self.read_trials(
+                    programmed, ctx, children, t=read_time
+                )
+            codes = np.tensordot(pos, programmed, axes=(0, 0))
+            deployed = codes * signs * tensor_scale
+            return ((deployed - ideal) ** 2).mean(axis=0)
+
+        if space is not None:
+            if model is None:
+                raise ValueError("empirical_variance_map(space=...) requires model=")
+            from repro.cim.mapping import WeightMapper
+
+            mapper = WeightMapper(mapping_config)
+            params = dict(model.named_parameters())
+            per_tensor = {}
+            for name in space.names:
+                mapped = mapper.map_tensor(params[name].data)
+                per_tensor[name] = estimate(
+                    name, mapped.levels, mapped.signs, mapped.scale,
+                    mapper.ideal_weights(mapped),
+                )
+            return space.flatten(per_tensor)
+        if levels is None:
+            raise ValueError("empirical_variance_map needs levels= or space=")
+        levels = np.asarray(levels, dtype=np.float64)
+        ideal = np.tensordot(pos, levels, axes=(0, 0)) * scale
+        return estimate("tensor", levels, 1.0, float(scale), ideal)
 
     # ------------------------------------------------------------ observers
 

@@ -4,6 +4,7 @@ from repro.core.extensions import (
     HeteroSwimScorer,
     expected_loss_increase,
     variance_map_from_mapping,
+    variance_map_from_stack,
 )
 from repro.core.hessian_fd import fd_diagonal_hessian, fd_diagonal_hessian_sampled
 from repro.core.insitu import InSituConfig, InSituHistory, InSituTrainer
@@ -70,4 +71,5 @@ __all__ = [
     "speedup_table",
     "sweep_nwc",
     "variance_map_from_mapping",
+    "variance_map_from_stack",
 ]

@@ -27,6 +27,7 @@ from repro.core.sensitivity import SensitivityScorer
 __all__ = [
     "expected_loss_increase",
     "variance_map_from_mapping",
+    "variance_map_from_stack",
     "HeteroSwimScorer",
 ]
 
@@ -73,33 +74,130 @@ def variance_map_from_mapping(space, model, mapping_config):
     return space.flatten(variances)
 
 
+def variance_map_from_stack(space, model, mapping_config, stack,
+                            read_time=None, wear_inflation=1.0):
+    """Per-weight ``E[dw_i^2]`` from the device physics stack, weight units.
+
+    The closure of the selection loop: the
+    :meth:`~repro.cim.devices.NonidealityStack.variance_map` analytic
+    composition (write noise through per-tensor quantization scales,
+    spatial marginal variance, drift at ``read_time``, compensation) is
+    what Eq. 5 should pair with the curvature when the platform is more
+    heterogeneous than the paper's i.i.d. model.
+    """
+    return stack.variance_map(
+        mapping_config,
+        read_time=read_time,
+        space=space,
+        model=model,
+        wear_inflation=wear_inflation,
+    )
+
+
 class HeteroSwimScorer(SensitivityScorer):
     """SWIM generalized to heterogeneous per-weight noise variance.
 
     Parameters
     ----------
     variance_provider:
-        Callable ``(model, space) -> flat variance array`` giving
-        ``E[dw_i^2]`` per weight; defaults to the per-tensor Eq. 16
-        variance via :func:`variance_map_from_mapping` when a
-        ``mapping_config`` is supplied instead.
+        Callable ``(model, space) -> per-weight variance`` giving
+        ``E[dw_i^2]`` — either a flat vector over the space or a
+        ``name -> weight-shaped array`` dict.
+    mapping_config:
+        Without a provider/stack: the per-tensor Eq. 16 variance via
+        :func:`variance_map_from_mapping`.
+    technology / stack / read_time / wear_inflation:
+        The physics-fed path: a registered
+        :class:`~repro.cim.DeviceTechnology` name (or instance) — or an
+        explicit :class:`~repro.cim.NonidealityStack` plus
+        ``mapping_config`` — feeds :func:`variance_map_from_stack`, so
+        the ranking sees the same drift/spatial/wear variance the
+        deployment will, evaluated at the target ``read_time``.
+    weight_bits:
+        Quantization bits M of the workload when deriving the mapping
+        from ``technology`` (default: the registry's 4-bit convention).
+        Must match the accelerator's mapping — a 6-bit workload scored
+        under a 4-bit map would rank against the wrong scales.
     """
 
     name = "hetero_swim"
 
     def __init__(self, variance_provider=None, mapping_config=None,
-                 loss=None, batch_size=256, max_batches=None):
-        if variance_provider is None and mapping_config is None:
+                 technology=None, stack=None, read_time=None,
+                 wear_inflation=1.0, weight_bits=None, loss=None,
+                 batch_size=256, max_batches=None):
+        if technology is not None:
+            from repro.cim.devices import resolve_technology
+
+            tech = resolve_technology(technology)
+            if mapping_config is None:
+                mapping_config = (
+                    tech.mapping_config()
+                    if weight_bits is None
+                    else tech.mapping_config(weight_bits=weight_bits)
+                )
+            if stack is None:
+                stack = tech.build_stack()
+        if stack is not None and mapping_config is None:
             raise ValueError(
-                "provide variance_provider or mapping_config"
+                "stack= needs a mapping_config= (or pass technology= to "
+                "derive both)"
             )
         if variance_provider is None:
-            def variance_provider(model, space):
-                return variance_map_from_mapping(space, model, mapping_config)
+            if stack is not None:
+                def variance_provider(model, space):
+                    return variance_map_from_stack(
+                        space, model, mapping_config, stack,
+                        read_time=read_time, wear_inflation=wear_inflation,
+                    )
+            elif mapping_config is not None:
+                def variance_provider(model, space):
+                    return variance_map_from_mapping(
+                        space, model, mapping_config
+                    )
+            else:
+                raise ValueError(
+                    "provide a variance_provider, mapping_config, stack "
+                    "or technology"
+                )
         self.variance_provider = variance_provider
+        self.mapping_config = mapping_config
+        self.stack = stack
+        self.read_time = read_time
         self.loss = loss
         self.batch_size = batch_size
         self.max_batches = max_batches
+
+    def _flat_variance(self, model, space):
+        """Validate the provider's output against the weight space."""
+        variance = self.variance_provider(model, space)
+        if isinstance(variance, dict):
+            missing = sorted(set(space.names) - set(variance))
+            if missing:
+                raise ValueError(
+                    f"variance map is missing tensors {missing}; the "
+                    f"weight space covers {space.names}"
+                )
+            for name in space.names:
+                got = np.asarray(variance[name]).shape
+                want = space.shape_of(name)
+                if got != want:
+                    raise ValueError(
+                        f"variance map for tensor {name!r} has shape "
+                        f"{got}, but the weight tensor has shape {want}"
+                    )
+            return space.flatten(variance)
+        variance = np.asarray(variance, dtype=np.float64)
+        if variance.shape != (space.total_size,):
+            per_tensor = ", ".join(
+                f"{name}{space.shape_of(name)}" for name in space.names
+            )
+            raise ValueError(
+                f"variance map shape {variance.shape} does not match the "
+                f"weight space: expected a flat ({space.total_size},) "
+                f"vector over tensors [{per_tensor}]"
+            )
+        return variance
 
     def scores(self, model, space, x, y, rng=None):
         curvature = accumulate_second_derivatives(
@@ -107,13 +205,7 @@ class HeteroSwimScorer(SensitivityScorer):
             batch_size=self.batch_size, max_batches=self.max_batches,
         )
         flat_curv = space.flatten({n: curvature[n] for n in space.names})
-        variance = np.asarray(self.variance_provider(model, space))
-        if variance.shape != flat_curv.shape:
-            raise ValueError(
-                f"variance map shape {variance.shape} != weight space "
-                f"({flat_curv.shape})"
-            )
-        return flat_curv * variance
+        return flat_curv * self._flat_variance(model, space)
 
     def tie_break(self, model, space):
         return np.abs(space.gather_from_model(model, "data"))

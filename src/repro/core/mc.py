@@ -181,7 +181,8 @@ class MonteCarloEngine:
     # ------------------------------------------------------------ pipelines
 
     def sweep_nwc(self, model, accelerator, order, space, eval_x, eval_y,
-                  nwc_targets, eval_batch_size=256, read_time=None):
+                  nwc_targets, eval_batch_size=256, read_time=None,
+                  scorer=None, sense_x=None, sense_y=None):
         """Accuracy at each NWC target for every trial.
 
         The trial-batched counterpart of
@@ -191,7 +192,13 @@ class MonteCarloEngine:
         folded forward pass.  ``read_time`` ages the deployed levels
         through the accelerator's nonideality stack (retention drift),
         with per-trial named substreams so batched and scalar paths see
-        bit-identical drift.
+        bit-identical drift.  ``order=None`` with a ``scorer`` computes
+        the ranking once here (``rng.child("scorer")``) on the
+        ``sense_x/sense_y`` training data — Algorithm 1's protocol;
+        ranking must not see the evaluation set — and shares it across
+        every trial and both Monte Carlo paths (the scalar fallback
+        receives the resolved order, so batched and scalar stay
+        comparable even for rng-dependent scorers).
 
         Returns
         -------
@@ -199,6 +206,20 @@ class MonteCarloEngine:
             ``(accuracies, achieved_nwc)`` arrays of shape
             ``(n_trials, len(nwc_targets))``.
         """
+        if order is None:
+            if scorer is None:
+                raise ValueError(
+                    "sweep_nwc needs a precomputed order or a scorer"
+                )
+            if sense_x is None:
+                raise ValueError(
+                    "scorer= needs sense_x/sense_y (rank on training "
+                    "data, not the evaluation set)"
+                )
+            accelerator.clear()
+            order = scorer.ranking(
+                model, space, sense_x, sense_y, rng=self.rng.child("scorer")
+            )
         n_targets = len(nwc_targets)
         accuracies = np.empty((self.n_trials, n_targets), dtype=np.float64)
         achieved = np.empty((self.n_trials, n_targets), dtype=np.float64)

@@ -202,7 +202,19 @@ _SCORERS = {
 
 
 def build_scorer(name, **kwargs):
-    """Construct a scorer by registry name (see ``_SCORERS`` keys)."""
+    """Construct a scorer by registry name (see ``_SCORERS`` keys).
+
+    ``hetero_swim`` resolves to
+    :class:`~repro.core.extensions.HeteroSwimScorer` (imported lazily —
+    extensions builds on this module); pass its variance source
+    (``technology=`` / ``stack=`` / ``mapping_config=`` /
+    ``variance_provider=``) through ``kwargs``.
+    """
+    if name == "hetero_swim":
+        from repro.core.extensions import HeteroSwimScorer
+
+        return HeteroSwimScorer(**kwargs)
     if name not in _SCORERS:
-        raise KeyError(f"unknown scorer {name!r}; known: {sorted(_SCORERS)}")
+        known = sorted(_SCORERS) + ["hetero_swim"]
+        raise KeyError(f"unknown scorer {name!r}; known: {known}")
     return _SCORERS[name](**kwargs)

@@ -174,15 +174,28 @@ def sweep_nwc(
     rng,
     eval_batch_size=256,
     read_time=None,
+    scorer=None,
+    sense_x=None,
+    sense_y=None,
 ):
     """Accuracy at each NWC target for one Monte Carlo draw.
 
     The ranking ``order`` is computed once by the caller (it does not
     depend on the noise draw); this function performs the program + verify
     simulation and then deploys/evaluates every target fraction.
-    ``read_time`` (seconds since programming) lets a drifting nonideality
-    stack age the deployed levels before each evaluation; the drift draws
-    are named off ``rng``, so every target sees the same drifted devices.
+    Alternatively pass ``order=None`` with a ``scorer`` (any
+    :class:`~repro.core.sensitivity.SensitivityScorer`, e.g. a stack-fed
+    :class:`~repro.core.extensions.HeteroSwimScorer`) and the ranking is
+    computed here on the clean network — from ``sense_x/sense_y``
+    (training data, as in Algorithm 1; do not rank on the data you
+    score on).  The scorer's rng is ``rng.child("scorer")``, so a caller
+    looping this function over Monte Carlo draws re-ranks per trial;
+    precompute the order instead when the ranking should be shared
+    (which is what :meth:`~repro.core.mc.MonteCarloEngine.sweep_nwc`
+    does).  ``read_time`` (seconds since programming) lets a drifting
+    nonideality stack age the deployed levels before each evaluation;
+    the drift draws are named off ``rng``, so every target sees the same
+    drifted devices.
 
     Returns
     -------
@@ -190,6 +203,18 @@ def sweep_nwc(
         ``(accuracies, achieved_nwc)`` arrays aligned with
         ``nwc_targets``.
     """
+    if order is None:
+        if scorer is None:
+            raise ValueError("sweep_nwc needs a precomputed order or a scorer")
+        if sense_x is None:
+            raise ValueError(
+                "scorer= needs sense_x/sense_y (rank on training data, "
+                "not the evaluation set)"
+            )
+        accelerator.clear()
+        order = scorer.ranking(
+            model, space, sense_x, sense_y, rng=rng.child("scorer")
+        )
     accelerator.program(rng.child("program").generator)
     accelerator.write_verify_all(rng.child("verify").generator)
     accuracies = np.empty(len(nwc_targets), dtype=np.float64)

@@ -6,9 +6,16 @@ from repro.experiments.fig1 import Fig1Config, Fig1Result, run_fig1
 from repro.experiments.fig2 import FIG2_WORKLOADS, render_fig2_panel, run_fig2_panel
 from repro.experiments.model_zoo import ZooModel, build_data, build_model, load_workload
 from repro.experiments.retention import (
+    RETENTION_TECHNOLOGIES,
     RetentionResult,
     render_retention,
     run_retention,
+)
+from repro.experiments.spatial import (
+    SPATIAL_METHODS,
+    SpatialResult,
+    render_spatial,
+    run_spatial,
 )
 from repro.experiments.sweeps import (
     MethodCurve,
@@ -29,9 +36,12 @@ __all__ = [
     "Fig1Config",
     "Fig1Result",
     "MethodCurve",
+    "RETENTION_TECHNOLOGIES",
     "RetentionResult",
     "SCALES",
+    "SPATIAL_METHODS",
     "ScalePreset",
+    "SpatialResult",
     "SweepOutcome",
     "TABLE1_SIGMAS",
     "Table1Result",
@@ -45,11 +55,13 @@ __all__ = [
     "render_devices",
     "render_fig2_panel",
     "render_retention",
+    "render_spatial",
     "render_table1",
     "run_devices",
     "run_fig1",
     "run_fig2_panel",
     "run_method_sweep",
     "run_retention",
+    "run_spatial",
     "run_table1",
 ]

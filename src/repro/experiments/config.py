@@ -59,10 +59,13 @@ class WorkloadSpec:
 class ScalePreset:
     """All scale-dependent knobs of the experiment drivers.
 
-    ``mc_runs_devices`` / ``mc_runs_retention`` size the technology and
-    drift scenarios (``runner devices`` / ``runner retention``);
+    ``mc_runs_devices`` / ``mc_runs_retention`` / ``mc_runs_spatial``
+    size the technology, drift and clustered-variation scenarios
+    (``runner devices`` / ``retention`` / ``spatial``);
     ``retention_times`` is the read-time grid in seconds (the first entry
-    should be the write-verify reference time ``t0 = 1 s``).
+    should be the write-verify reference time ``t0 = 1 s``) and
+    ``spatial_correlation_lengths`` the correlation-length grid (in
+    devices; 0 = i.i.d.) the spatial stress test sweeps.
     """
 
     name: str
@@ -78,6 +81,8 @@ class ScalePreset:
     mc_runs_devices: int = 2
     mc_runs_retention: int = 2
     retention_times: tuple = (1.0, 3.6e3, 8.64e4, 2.592e6)
+    mc_runs_spatial: int = 2
+    spatial_correlation_lengths: tuple = (0.0, 2.0, 8.0, 32.0)
 
     def workload(self, key):
         """Look up one workload spec."""
@@ -140,6 +145,8 @@ SMOKE = ScalePreset(
     mc_runs_devices=2,
     mc_runs_retention=2,
     retention_times=(1.0, 3.6e3, 2.592e6),  # write time, 1 hour, 1 month
+    mc_runs_spatial=2,
+    spatial_correlation_lengths=(0.0, 8.0),
 )
 
 DEFAULT = ScalePreset(
@@ -160,6 +167,8 @@ DEFAULT = ScalePreset(
     mc_runs_devices=6,
     mc_runs_retention=6,
     retention_times=(1.0, 3.6e3, 8.64e4, 2.592e6),  # + 1 day
+    mc_runs_spatial=6,
+    spatial_correlation_lengths=(0.0, 2.0, 8.0, 32.0),
 )
 
 FULL = ScalePreset(
@@ -181,6 +190,8 @@ FULL = ScalePreset(
     mc_runs_devices=3000,
     mc_runs_retention=3000,
     retention_times=(1.0, 3.6e3, 8.64e4, 2.592e6, 3.1536e7),  # + 1 year
+    mc_runs_spatial=3000,
+    spatial_correlation_lengths=(0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0),
 )
 
 SCALES = {s.name: s for s in (SMOKE, DEFAULT, FULL)}

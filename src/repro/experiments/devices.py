@@ -3,11 +3,12 @@
 CIMulator-style question the paper never asks: how do SWIM's write-verify
 savings transfer across device technologies?  Each registered
 :class:`~repro.cim.DeviceTechnology` (``fefet`` — the paper's operating
-point — plus ``rram``, ``pcm``, ``mram``) runs the Fig. 2-style paired
-Monte Carlo sweep on LeNet through its own nonideality stack, batched by
-default, and the summary adds the endurance angle: expected
-re-deployments of the most-stressed cell under each technology's pulse
-budget.
+point — plus ``rram``, ``pcm``, ``fefet-spatial``, ``mram``; read-path
+variants like ``pcm-comp`` are skipped since nothing drifts at
+read-after-write) runs the Fig. 2-style paired Monte Carlo sweep on
+LeNet through its own nonideality stack, batched by default, and the
+summary adds the endurance angle: expected re-deployments of the
+most-stressed cell under each technology's pulse budget.
 """
 
 from __future__ import annotations
@@ -23,7 +24,7 @@ from repro.utils.tables import Table
 
 __all__ = ["DevicesResult", "run_devices", "render_devices"]
 
-DEVICES_METHODS = ("swim", "magnitude", "random")
+DEVICES_METHODS = ("swim", "hetero_swim", "magnitude", "random")
 
 
 @dataclass
@@ -47,7 +48,12 @@ def run_devices(scale, technologies=None, nwc_targets=DEFAULT_NWC_TARGETS,
         A :class:`~repro.experiments.config.ScalePreset`
         (``mc_runs_devices`` trials per technology).
     technologies:
-        Iterable of registry names (default: everything registered).
+        Iterable of registry names (default: every registered profile
+        whose physics differ at read-after-write — drift-compensated
+        variants are skipped, because this scenario deploys at
+        ``read_time=None`` where they are statistically identical to
+        their base technology; ``runner retention`` is where they
+        differ).
     batched / processes:
         Same Monte Carlo path selection as the paper sweeps; per-trial
         draws are identical in every mode.
@@ -57,7 +63,14 @@ def run_devices(scale, technologies=None, nwc_targets=DEFAULT_NWC_TARGETS,
     DevicesResult
     """
     zoo = load_workload(scale.workload(workload), use_cache=use_cache)
-    names = list(technologies) if technologies is not None else technology_names()
+    names = (
+        list(technologies)
+        if technologies is not None
+        else [
+            name for name in technology_names()
+            if not get_technology(name).drift_compensated
+        ]
+    )
     root = RngStream(seed).child("devices")
     result = DevicesResult(
         workload=zoo.spec.key,

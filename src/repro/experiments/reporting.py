@@ -22,6 +22,7 @@ __all__ = [
     "save_fig1_csv",
     "save_devices_csv",
     "save_retention_csv",
+    "save_spatial_csv",
 ]
 
 
@@ -127,13 +128,26 @@ def save_devices_csv(result, path):
 
 
 def save_retention_csv(result, path):
-    """Persist a RetentionResult: one row per read time x method x target."""
+    """Persist a RetentionResult: one row per technology x time x method x target."""
     lines = [
-        "read_time_s,workload,sigma,method,nwc_target,achieved_nwc,"
-        "accuracy_mean,accuracy_std,runs"
+        "read_time_s,technology,workload,sigma,method,nwc_target,"
+        "achieved_nwc,accuracy_mean,accuracy_std,runs"
     ]
-    for t, outcome in sorted(result.outcomes.items()):
-        lines.extend(_sweep_rows(outcome, f"{t:g}"))
+    for (technology, t), outcome in sorted(result.outcomes.items()):
+        lines.extend(_sweep_rows(outcome, f"{t:g},{technology}"))
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n")
+    return path
+
+
+def save_spatial_csv(result, path):
+    """Persist a SpatialResult: one row per correlation length x method x target."""
+    lines = [
+        "correlation_length,technology,workload,sigma,method,nwc_target,"
+        "achieved_nwc,accuracy_mean,accuracy_std,runs"
+    ]
+    for length, outcome in sorted(result.outcomes.items()):
+        lines.extend(_sweep_rows(outcome, f"{length:g},{result.technology}"))
     with open(path, "w", encoding="utf-8") as handle:
         handle.write("\n".join(lines) + "\n")
     return path

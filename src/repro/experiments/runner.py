@@ -6,7 +6,7 @@ Usage::
     python -m repro.experiments.runner fig1
     python -m repro.experiments.runner fig2a fig2b fig2c
     python -m repro.experiments.runner ablations
-    python -m repro.experiments.runner devices retention
+    python -m repro.experiments.runner devices retention spatial
     python -m repro.experiments.runner all --scale default
 
 Results print to stdout in the paper's layout and are saved as CSV under
@@ -33,14 +33,16 @@ from repro.experiments.reporting import (
     save_devices_csv,
     save_fig1_csv,
     save_retention_csv,
+    save_spatial_csv,
     save_sweep_csv,
 )
 from repro.experiments.retention import render_retention, run_retention
+from repro.experiments.spatial import render_spatial, run_spatial
 from repro.experiments.table1 import render_table1, run_table1
 from repro.utils.rng import RngStream
 
 EXPERIMENTS = ("fig1", "table1", "fig2a", "fig2b", "fig2c", "ablations",
-               "devices", "retention")
+               "devices", "retention", "spatial")
 
 
 def _run_fig1(scale, out_dir, batched=True):
@@ -84,6 +86,13 @@ def _run_retention(scale, out_dir, batched=True, processes=None):
     result = run_retention(scale, batched=batched, processes=processes)
     print(render_retention(result))
     path = save_retention_csv(result, os.path.join(out_dir, "retention.csv"))
+    print(f"[saved {path}]")
+
+
+def _run_spatial(scale, out_dir, batched=True, processes=None):
+    result = run_spatial(scale, batched=batched, processes=processes)
+    print(render_spatial(result))
+    path = save_spatial_csv(result, os.path.join(out_dir, "spatial.csv"))
     print(f"[saved {path}]")
 
 
@@ -150,6 +159,9 @@ def main(argv=None):
         elif name == "retention":
             _run_retention(scale, out_dir, batched=batched,
                            processes=args.processes)
+        elif name == "spatial":
+            _run_spatial(scale, out_dir, batched=batched,
+                         processes=args.processes)
         elif name == "ablations":
             _run_ablations(scale, out_dir)
         print(f"[{name} took {time.time() - start:.1f}s]")

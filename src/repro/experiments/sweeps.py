@@ -36,6 +36,9 @@ from repro.core import (
     SwimScorer,
     WeightSpace,
     evaluate_accuracy,
+    rank_descending,
+    variance_map_from_mapping,
+    variance_map_from_stack,
 )
 from repro.core.metrics import evaluate_accuracy_trials
 from repro.utils.stats import summarize
@@ -283,7 +286,13 @@ def run_method_sweep(
     eval_samples / sense_samples:
         Test subset for accuracy, train subset for sensitivity.
     methods:
-        Subset of {swim, magnitude, random, insitu}.
+        Subset of {swim, hetero_swim, magnitude, random, insitu}.
+        ``hetero_swim`` is the Eq. 5 ranking with the per-weight variance
+        map supplied by the technology's nonideality stack at this
+        sweep's ``read_time`` (falling back to the per-tensor Eq. 16
+        variance when no technology is given); it shares the curvature
+        pass with ``swim``, so requesting both costs one extra ranking,
+        not one extra sensitivity analysis.
     insitu_lr:
         On-chip learning rate of the in-situ baseline.
     device_bits:
@@ -337,13 +346,28 @@ def run_method_sweep(
     sense_y = data.train_y[:sense_samples]
 
     # Deterministic rankings are computed once (they do not depend on the
-    # noise draw); random gets a fresh permutation per run.
+    # noise draw); random gets a fresh permutation per run.  swim and
+    # hetero_swim share one curvature accumulation — they differ only in
+    # the variance map multiplied in before ranking.
     accelerator.clear()
     orders = {}
-    if "swim" in methods:
-        orders["swim"] = SwimScorer(
+    if "swim" in methods or "hetero_swim" in methods:
+        curvature_scorer = SwimScorer(
             batch_size=min(256, sense_samples), max_batches=curvature_batches
-        ).ranking(model, space, sense_x, sense_y)
+        )
+        curvature = curvature_scorer.scores(model, space, sense_x, sense_y)
+        tie = curvature_scorer.tie_break(model, space)
+    if "swim" in methods:
+        orders["swim"] = rank_descending(curvature, tie)
+    if "hetero_swim" in methods:
+        variance = (
+            variance_map_from_stack(
+                space, model, mapping, stack, read_time=read_time
+            )
+            if stack is not None
+            else variance_map_from_mapping(space, model, mapping)
+        )
+        orders["hetero_swim"] = rank_descending(curvature * variance, tie)
     if "magnitude" in methods:
         orders["magnitude"] = MagnitudeScorer().ranking(
             model, space, sense_x, sense_y

@@ -133,6 +133,24 @@ def test_render_ablation_formats():
         render_ablation([], title="none")
 
 
+@pytest.mark.slow
+def test_retention_accepts_unregistered_technology():
+    """A custom DeviceTechnology instance runs and renders end to end."""
+    from repro.cim import DeviceTechnology
+    from repro.experiments.retention import render_retention, run_retention
+
+    custom = DeviceTechnology(
+        name="lab-pcm", drift_nu=0.03, drift_sigma_nu=0.005
+    )
+    result = run_retention(
+        SMOKE, technologies=(custom,), times=(1.0, 3.6e3), methods=("swim",)
+    )
+    assert result.technologies == ("lab-pcm",)
+    assert set(result.outcomes) == {("lab-pcm", 1.0), ("lab-pcm", 3.6e3)}
+    text = render_retention(result)
+    assert "Retention — lab-pcm" in text
+
+
 def test_runner_cli_rejects_unknown():
     from repro.experiments.runner import main
 

@@ -190,6 +190,74 @@ def test_hetero_requires_some_variance_source():
         HeteroSwimScorer()
 
 
+def test_hetero_shape_mismatch_names_the_tensors(setup):
+    """A bad flat variance map fails with the space's tensors spelled out."""
+    model, space, x, y = setup
+    scorer = HeteroSwimScorer(
+        variance_provider=lambda m, s: np.ones(s.total_size + 3),
+        batch_size=24,
+    )
+    with pytest.raises(ValueError) as err:
+        scorer.scores(model, space, x, y)
+    message = str(err.value)
+    assert f"({space.total_size},)" in message
+    for name in space.names:
+        assert f"{name}{space.shape_of(name)}" in message
+
+
+def test_hetero_dict_variance_validates_per_tensor(setup):
+    """Dict providers work, and a wrong tensor shape is named in the error."""
+    model, space, x, y = setup
+    good = {name: np.ones(space.shape_of(name)) for name in space.names}
+    scores = HeteroSwimScorer(
+        variance_provider=lambda m, s: good, batch_size=24
+    ).scores(model, space, x, y)
+    plain = SwimScorer(batch_size=24).scores(model, space, x, y)
+    np.testing.assert_allclose(scores, plain, rtol=1e-10)
+
+    bad_name = space.names[1]
+    bad = dict(good)
+    bad[bad_name] = np.ones((2, 2))
+    with pytest.raises(ValueError, match=bad_name):
+        HeteroSwimScorer(
+            variance_provider=lambda m, s: bad, batch_size=24
+        ).scores(model, space, x, y)
+    with pytest.raises(ValueError, match="missing tensors"):
+        HeteroSwimScorer(
+            variance_provider=lambda m, s: {space.names[0]: good[space.names[0]]},
+            batch_size=24,
+        ).scores(model, space, x, y)
+
+
+def test_hetero_technology_constructor_path(setup):
+    """technology= derives mapping + stack; without drift or spatial it
+    reduces exactly to the mapping-config variance."""
+    model, space, x, y = setup
+    by_tech = HeteroSwimScorer(technology="fefet", batch_size=24)
+    assert by_tech.mapping_config is not None and by_tech.stack is not None
+    from repro.cim import get_technology
+
+    by_mapping = HeteroSwimScorer(
+        mapping_config=get_technology("fefet").mapping_config(), batch_size=24
+    )
+    np.testing.assert_array_equal(
+        by_tech.scores(model, space, x, y),
+        by_mapping.scores(model, space, x, y),
+    )
+    # At a drifted read time the stack path diverges from the constant map.
+    drifted = HeteroSwimScorer(
+        technology="pcm", read_time=2.592e6, batch_size=24
+    ).scores(model, space, x, y)
+    assert not np.allclose(drifted, by_tech.scores(model, space, x, y))
+
+
+def test_hetero_stack_requires_mapping():
+    from repro.cim import NonidealityStack
+
+    with pytest.raises(ValueError, match="mapping_config"):
+        HeteroSwimScorer(stack=NonidealityStack.default())
+
+
 def test_variance_map_uses_per_tensor_scales(setup):
     model, space, x, y = setup
     # Make the two weight tensors very different in magnitude.

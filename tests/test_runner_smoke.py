@@ -55,6 +55,7 @@ def test_runner_devices_retention_smoke_writes_csvs(tmp_path):
     assert proc.returncode == 0, proc.stderr[-2000:]
     assert "Technology summary" in proc.stdout
     assert "Retention — pcm" in proc.stdout
+    assert "Retention — pcm-comp" in proc.stdout
 
     devices = (results / "devices.csv").read_text(encoding="utf-8").splitlines()
     assert devices[0].startswith("technology,workload,sigma,method")
@@ -62,6 +63,44 @@ def test_runner_devices_retention_smoke_writes_csvs(tmp_path):
     assert technologies >= {"fefet", "rram", "pcm", "mram"}
 
     retention = (results / "retention.csv").read_text(encoding="utf-8").splitlines()
-    assert retention[0].startswith("read_time_s,workload,sigma,method")
+    assert retention[0].startswith(
+        "read_time_s,technology,workload,sigma,method"
+    )
     times = {float(line.split(",")[0]) for line in retention[1:]}
     assert len(times) >= 2 and 1.0 in times
+    retention_technologies = {line.split(",")[1] for line in retention[1:]}
+    assert retention_technologies == {"pcm", "pcm-comp"}
+    methods = {line.split(",")[4] for line in retention[1:]}
+    assert "hetero_swim" in methods and "swim" in methods
+
+
+@pytest.mark.slow
+def test_runner_spatial_smoke_csv_schema_and_determinism(tmp_path):
+    """The clustered-variation stress test: schema contract + fixed seed."""
+    results = tmp_path / "results"
+    proc = _run_runner(results, "spatial")
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert "Spatial — fefet-spatial" in proc.stdout
+
+    spatial = (results / "spatial.csv").read_text(encoding="utf-8")
+    lines = spatial.splitlines()
+    assert lines[0] == (
+        "correlation_length,technology,workload,sigma,method,nwc_target,"
+        "achieved_nwc,accuracy_mean,accuracy_std,runs"
+    )
+    lengths = {float(line.split(",")[0]) for line in lines[1:]}
+    assert lengths == {0.0, 8.0}  # the smoke preset's grid
+    methods = {line.split(",")[4] for line in lines[1:]}
+    assert methods == {"swim", "hetero_swim", "magnitude"}
+    for line in lines[1:]:
+        fields = line.split(",")
+        assert len(fields) == 10
+        assert 0.0 <= float(fields[7]) <= 1.0  # accuracy_mean
+
+    # Deterministic under the fixed seed: a second run reproduces the
+    # CSV byte for byte (the model comes back from the artifact cache,
+    # and every stochastic stage draws from named streams).
+    rerun = tmp_path / "rerun"
+    proc2 = _run_runner(rerun, "spatial")
+    assert proc2.returncode == 0, proc2.stderr[-2000:]
+    assert (rerun / "spatial.csv").read_text(encoding="utf-8") == spatial
