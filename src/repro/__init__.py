@@ -14,6 +14,9 @@ Subpackages
 ``repro.core``
     SWIM itself: sensitivity analysis, weight selection, Algorithm 1,
     and the Random / Magnitude / In-situ baselines.
+``repro.plan``
+    Selection planning: content-addressed artifact cache, batched plan
+    engine, and parallel scenario orchestration.
 ``repro.experiments``
     Drivers that regenerate every table and figure of the paper.
 """

@@ -134,7 +134,7 @@ class CimAccelerator:
             for name, mapped in self._mapped.items()
         }
 
-    def variance_map(self, read_time=None, wear_inflation=1.0):
+    def variance_map(self, read_time=None, wear_inflation=1.0, wear=None):
         """Per-weight unverified-deployment variance from this stack.
 
         The analytic ``E[dw_i^2]`` of
@@ -142,9 +142,15 @@ class CimAccelerator:
         every mapped tensor of this accelerator (write variance through
         the actual quantization scales, drift at ``read_time``,
         compensation if staged), as a ``name -> weight-shaped array``
-        dict — the physics side of Eq. 5 selection.
+        dict — the physics side of Eq. 5 selection.  ``wear=True``
+        feeds this accelerator's own :meth:`wear_summary` through the
+        endurance model's sigma-growth curve (a dict or consumed
+        fraction is passed straight through; the manual
+        ``wear_inflation`` knob overrides either).
         """
         self.map_model()
+        if wear is True:
+            wear = self.wear_summary()
         return {
             name: self.stack.variance_map(
                 self.mapping_config,
@@ -152,6 +158,7 @@ class CimAccelerator:
                 levels=mapped.levels,
                 scale=mapped.scale,
                 wear_inflation=wear_inflation,
+                wear=wear,
             )
             for name, mapped in self._mapped.items()
         }

@@ -49,20 +49,55 @@ class WearReport:
 
 @dataclass(frozen=True)
 class EnduranceModel:
-    """Pulse budget of the device technology.
+    """Pulse budget and write-precision aging of the device technology.
 
     Attributes
     ----------
     endurance_cycles:
         Program/erase cycles a device survives (default 1e6: conservative
         multi-level RRAM).
+    sigma_growth:
+        Fractional programming-noise sigma increase of a cell that has
+        consumed its whole endurance budget (0 = write precision does
+        not age, the historical behavior).  Cycling degrades NVM write
+        precision well before hard failure — filament instability in
+        RRAM, ferroelectric fatigue in FeFET — and this is the
+        first-order knob for it.
+    growth_exponent:
+        Shape of the sigma-growth-vs-cycling curve: sigma grows with
+        ``consumed_fraction ** growth_exponent`` (1 = linear; < 1 =
+        early-life degradation front-loaded).
     """
 
     endurance_cycles: float = 1e6
+    sigma_growth: float = 0.0
+    growth_exponent: float = 1.0
 
     def __post_init__(self):
         if self.endurance_cycles <= 0:
             raise ValueError("endurance_cycles must be > 0")
+        if self.sigma_growth < 0:
+            raise ValueError("sigma_growth must be >= 0")
+        if self.growth_exponent <= 0:
+            raise ValueError("growth_exponent must be > 0")
+
+    def consumed_fraction(self, pulses):
+        """Fraction of the endurance budget spent by ``pulses`` writes."""
+        return float(np.clip(pulses / self.endurance_cycles, 0.0, 1.0))
+
+    def wear_inflation(self, consumed_fraction):
+        """Programming-noise *variance* multiplier after cycling.
+
+        The sigma of a cell that has consumed fraction ``f`` of its
+        budget is ``sigma * (1 + sigma_growth * f ** growth_exponent)``,
+        so the variance — what Eq. 5 selection pairs with the curvature
+        — inflates by the square.  Fresh devices (``f = 0``) and
+        non-aging models (``sigma_growth = 0``) return exactly 1.0.
+        """
+        fraction = float(np.clip(consumed_fraction, 0.0, 1.0))
+        return float(
+            (1.0 + self.sigma_growth * fraction ** self.growth_exponent) ** 2
+        )
 
     def wear_report(self, verify_cycles, initial_writes=1):
         """Wear statistics for one deployment.
@@ -174,7 +209,13 @@ class EnduranceObserver:
         dict
             ``{"endurance_cycles", "total_pulses",
             "mean_pulses_per_device", "max_pulses_per_device",
-            "deployments_to_failure"}`` or ``None`` before any session.
+            "deployments_to_failure", "consumed_fraction"}`` or ``None``
+            before any session.  ``consumed_fraction`` is the average
+            device's endurance budget spent *per deployment*; scale it
+            by the expected deployment count before feeding it to
+            :meth:`EnduranceModel.wear_inflation` (which is what
+            ``variance_map(wear=summary)`` does via the summary's own
+            fields).
         """
         devices = self._agg_devices
         total_cycles = self._agg_cycles
@@ -188,10 +229,12 @@ class EnduranceObserver:
         if devices == 0:
             return None
         worst = worst_cycles + int(initial_writes)
+        mean_pulses = total_cycles / devices + int(initial_writes)
         return {
             "endurance_cycles": self.model.endurance_cycles,
             "total_pulses": total_cycles + devices * int(initial_writes),
-            "mean_pulses_per_device": total_cycles / devices + int(initial_writes),
+            "mean_pulses_per_device": mean_pulses,
             "max_pulses_per_device": worst,
             "deployments_to_failure": self.model.endurance_cycles / max(worst, 1),
+            "consumed_fraction": self.model.consumed_fraction(mean_pulses),
         }

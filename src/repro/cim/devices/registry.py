@@ -66,6 +66,13 @@ class DeviceTechnology:
         disables the spatial write stage.
     endurance_cycles:
         Program/erase budget for the endurance observer.
+    wear_sigma_growth / wear_growth_exponent:
+        The sigma-growth-vs-cycling curve of
+        :class:`~repro.cim.devices.endurance.EnduranceModel`: the
+        fractional programming-sigma increase at full endurance
+        consumption and the curve's exponent.  This is what lets the
+        variance map derive ``wear_inflation`` from the endurance
+        observer's consumed fraction instead of a manual knob.
     drift_compensated:
         When True (and the technology drifts), the read pipeline appends a
         :class:`~repro.cim.devices.stack.DriftCompensationStage` — the
@@ -83,6 +90,8 @@ class DeviceTechnology:
     correlation_length: float = 8.0
     global_fraction: float = 0.2
     endurance_cycles: float = 1e6
+    wear_sigma_growth: float = 0.0
+    wear_growth_exponent: float = 1.0
     drift_compensated: bool = False
 
     # ------------------------------------------------------------ factories
@@ -121,8 +130,12 @@ class DeviceTechnology:
         )
 
     def endurance_model(self):
-        """The pulse-budget model."""
-        return EnduranceModel(endurance_cycles=self.endurance_cycles)
+        """The pulse-budget + write-precision-aging model."""
+        return EnduranceModel(
+            endurance_cycles=self.endurance_cycles,
+            sigma_growth=self.wear_sigma_growth,
+            growth_exponent=self.wear_growth_exponent,
+        )
 
     def mapping_config(self, weight_bits=4, differential=False):
         """A :class:`~repro.cim.mapping.MappingConfig` on this technology."""
@@ -225,6 +238,7 @@ register_technology(DeviceTechnology(
     drift_sigma_nu=0.001,
     relaxation_sigma=0.002,
     endurance_cycles=1e7,
+    wear_sigma_growth=0.6,
 ))
 
 register_technology(DeviceTechnology(
@@ -239,6 +253,8 @@ register_technology(DeviceTechnology(
     drift_sigma_nu=0.003,
     relaxation_sigma=0.010,
     endurance_cycles=1e6,
+    wear_sigma_growth=1.0,
+    wear_growth_exponent=0.7,
 ))
 
 register_technology(DeviceTechnology(
@@ -253,6 +269,7 @@ register_technology(DeviceTechnology(
     drift_sigma_nu=0.010,
     relaxation_sigma=0.005,
     endurance_cycles=1e8,
+    wear_sigma_growth=0.4,
 ))
 
 register_technology(DeviceTechnology(
@@ -269,6 +286,7 @@ register_technology(DeviceTechnology(
     drift_sigma_nu=0.010,
     relaxation_sigma=0.005,
     endurance_cycles=1e8,
+    wear_sigma_growth=0.4,
     drift_compensated=True,
 ))
 
@@ -288,6 +306,7 @@ register_technology(DeviceTechnology(
     correlation_length=8.0,
     global_fraction=0.2,
     endurance_cycles=1e7,
+    wear_sigma_growth=0.6,
 ))
 
 register_technology(DeviceTechnology(

@@ -324,9 +324,43 @@ class NonidealityStack:
 
     # ------------------------------------------------------- variance closure
 
+    def resolve_wear_inflation(self, wear=None, wear_inflation=1.0):
+        """Effective programming-noise variance multiplier.
+
+        The manual ``wear_inflation`` knob always wins when set (any
+        value other than the fresh-device 1.0).  Otherwise ``wear`` —
+        the endurance observer's :meth:`wear_summary` dict, or a bare
+        consumed fraction — is run through the endurance model's
+        sigma-growth-vs-cycling curve
+        (:meth:`~repro.cim.devices.endurance.EnduranceModel.
+        wear_inflation`).  A summary dict may carry a ``deployments``
+        entry to scale its per-deployment ``consumed_fraction`` to the
+        lifetime point being planned for.  Without an endurance
+        observer (or with ``wear=None``) devices are fresh: 1.0.
+        """
+        if wear is None or wear_inflation != 1.0:
+            return float(wear_inflation)
+        model = None
+        for observer in self.observers:
+            if isinstance(observer, EnduranceObserver):
+                model = observer.model
+                break
+        if model is None:
+            return 1.0
+        if isinstance(wear, dict):
+            consumed = wear.get("consumed_fraction")
+            if consumed is None:
+                consumed = model.consumed_fraction(
+                    wear.get("mean_pulses_per_device", 0.0)
+                )
+            consumed = consumed * float(wear.get("deployments", 1))
+        else:
+            consumed = float(wear)
+        return model.wear_inflation(consumed)
+
     def variance_map(self, mapping_config, read_time=None, shape=None,
                      space=None, model=None, levels=None, scale=1.0,
-                     wear_inflation=1.0):
+                     wear_inflation=1.0, wear=None):
         """Analytic per-weight perturbation variance ``E[dw_i^2]``, weight units.
 
         This closes the loop between the device physics and Eq. 5
@@ -373,8 +407,14 @@ class NonidealityStack:
             scale and desired levels, and the flat concatenated variance
             vector is returned.
         wear_inflation:
-            Multiplier on the programming-noise variance modeling
+            Manual multiplier on the programming-noise variance modeling
             write-precision loss of worn cells (1.0 = fresh devices).
+        wear:
+            Derived alternative to the manual knob: the endurance
+            observer's ``wear_summary()`` dict (or a bare consumed
+            fraction), folded through the endurance model's
+            sigma-growth curve by :meth:`resolve_wear_inflation`.  An
+            explicit ``wear_inflation`` overrides it.
 
         Returns
         -------
@@ -382,6 +422,7 @@ class NonidealityStack:
             Weight-shaped array (tensor mode) or flat vector (model
             mode) of per-weight ``E[dw^2]`` in weight units.
         """
+        wear_inflation = self.resolve_wear_inflation(wear, wear_inflation)
         if space is not None:
             if model is None:
                 raise ValueError("variance_map(space=...) requires model=")

@@ -75,7 +75,7 @@ def variance_map_from_mapping(space, model, mapping_config):
 
 
 def variance_map_from_stack(space, model, mapping_config, stack,
-                            read_time=None, wear_inflation=1.0):
+                            read_time=None, wear_inflation=1.0, wear=None):
     """Per-weight ``E[dw_i^2]`` from the device physics stack, weight units.
 
     The closure of the selection loop: the
@@ -83,7 +83,10 @@ def variance_map_from_stack(space, model, mapping_config, stack,
     composition (write noise through per-tensor quantization scales,
     spatial marginal variance, drift at ``read_time``, compensation) is
     what Eq. 5 should pair with the curvature when the platform is more
-    heterogeneous than the paper's i.i.d. model.
+    heterogeneous than the paper's i.i.d. model.  ``wear`` (an endurance
+    observer summary or consumed fraction) derives the programming-noise
+    inflation from the technology's sigma-growth curve; the manual
+    ``wear_inflation`` knob overrides it.
     """
     return stack.variance_map(
         mapping_config,
@@ -91,6 +94,7 @@ def variance_map_from_stack(space, model, mapping_config, stack,
         space=space,
         model=model,
         wear_inflation=wear_inflation,
+        wear=wear,
     )
 
 
@@ -106,13 +110,16 @@ class HeteroSwimScorer(SensitivityScorer):
     mapping_config:
         Without a provider/stack: the per-tensor Eq. 16 variance via
         :func:`variance_map_from_mapping`.
-    technology / stack / read_time / wear_inflation:
+    technology / stack / read_time / wear_inflation / wear:
         The physics-fed path: a registered
         :class:`~repro.cim.DeviceTechnology` name (or instance) — or an
         explicit :class:`~repro.cim.NonidealityStack` plus
         ``mapping_config`` — feeds :func:`variance_map_from_stack`, so
         the ranking sees the same drift/spatial/wear variance the
         deployment will, evaluated at the target ``read_time``.
+        ``wear`` (an endurance observer summary or consumed fraction)
+        derives the cycling inflation from the technology's
+        sigma-growth curve; the manual ``wear_inflation`` overrides it.
     weight_bits:
         Quantization bits M of the workload when deriving the mapping
         from ``technology`` (default: the registry's 4-bit convention).
@@ -124,7 +131,7 @@ class HeteroSwimScorer(SensitivityScorer):
 
     def __init__(self, variance_provider=None, mapping_config=None,
                  technology=None, stack=None, read_time=None,
-                 wear_inflation=1.0, weight_bits=None, loss=None,
+                 wear_inflation=1.0, wear=None, weight_bits=None, loss=None,
                  batch_size=256, max_batches=None):
         if technology is not None:
             from repro.cim.devices import resolve_technology
@@ -149,6 +156,7 @@ class HeteroSwimScorer(SensitivityScorer):
                     return variance_map_from_stack(
                         space, model, mapping_config, stack,
                         read_time=read_time, wear_inflation=wear_inflation,
+                        wear=wear,
                     )
             elif mapping_config is not None:
                 def variance_provider(model, space):

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from repro.cim import get_technology, technology_names
 from repro.core.metrics import DEFAULT_NWC_TARGETS
 from repro.experiments.model_zoo import load_workload
-from repro.experiments.sweeps import run_method_sweep
+from repro.plan import PlanRequest, ScenarioCell, ScenarioOrchestrator
 from repro.utils.rng import RngStream
 from repro.utils.tables import Table
 
@@ -39,7 +39,8 @@ class DevicesResult:
 
 def run_devices(scale, technologies=None, nwc_targets=DEFAULT_NWC_TARGETS,
                 methods=DEVICES_METHODS, workload="lenet-digits", seed=11,
-                use_cache=True, batched=True, processes=None):
+                use_cache=True, batched=True, processes=None, jobs=None,
+                plan_cache=None, plans_out=None):
     """Run the accuracy-vs-NWC sweep for every registered technology.
 
     Parameters
@@ -57,6 +58,15 @@ def run_devices(scale, technologies=None, nwc_targets=DEFAULT_NWC_TARGETS,
     batched / processes:
         Same Monte Carlo path selection as the paper sweeps; per-trial
         draws are identical in every mode.
+    jobs:
+        Fan the per-technology cells across N forked workers (or
+        ``REPRO_JOBS``); results are bitwise-equal to serial.
+    plan_cache:
+        Optional :class:`~repro.plan.PlanArtifactCache` for the
+        selection planner (default: the shared on-disk cache).
+    plans_out:
+        Optional dict filled with the resolved ``technology ->
+        SelectionPlan`` mapping (for ``--save-plans``).
 
     Returns
     -------
@@ -77,20 +87,30 @@ def run_devices(scale, technologies=None, nwc_targets=DEFAULT_NWC_TARGETS,
         clean_accuracy=zoo.clean_accuracy,
         nwc_targets=tuple(nwc_targets),
     )
-    for name in names:
-        result.outcomes[name] = run_method_sweep(
-            zoo,
-            sigma=None,
-            technology=name,
-            nwc_targets=nwc_targets,
-            mc_runs=scale.mc_runs_devices,
+    orchestrator = ScenarioOrchestrator(
+        zoo, eval_samples=scale.eval_samples,
+        sense_samples=scale.sense_samples, cache=plan_cache,
+    )
+    cells = [
+        ScenarioCell(
+            key=name,
+            request=PlanRequest(
+                methods=tuple(methods),
+                nwc_targets=tuple(nwc_targets),
+                technology=name,
+                weight_bits=zoo.spec.weight_bits,
+            ),
             rng=root.child(name),
-            eval_samples=scale.eval_samples,
-            sense_samples=scale.sense_samples,
-            methods=methods,
-            batched=batched,
-            processes=processes,
+            mc_runs=scale.mc_runs_devices,
         )
+        for name in names
+    ]
+    result.outcomes.update(
+        orchestrator.run(cells, batched=batched, processes=processes,
+                         jobs=jobs)
+    )
+    if plans_out is not None:
+        plans_out.update(orchestrator.plans)
     return result
 
 

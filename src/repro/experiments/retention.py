@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from repro.cim import format_duration, resolve_technology
 from repro.core.metrics import DEFAULT_NWC_TARGETS
 from repro.experiments.model_zoo import load_workload
-from repro.experiments.sweeps import run_method_sweep
+from repro.plan import PlanRequest, ScenarioCell, ScenarioOrchestrator
 from repro.utils.rng import RngStream
 from repro.utils.tables import Table
 
@@ -54,7 +54,8 @@ class RetentionResult:
 def run_retention(scale, technologies=RETENTION_TECHNOLOGIES, times=None,
                   nwc_targets=DEFAULT_NWC_TARGETS, methods=RETENTION_METHODS,
                   workload="lenet-digits", seed=13, use_cache=True,
-                  batched=True, processes=None):
+                  batched=True, processes=None, jobs=None, plan_cache=None,
+                  plans_out=None):
     """Run the Table-1-over-time drift study.
 
     Parameters
@@ -71,6 +72,12 @@ def run_retention(scale, technologies=RETENTION_TECHNOLOGIES, times=None,
     times:
         Read-time grid in seconds (default: the preset's).  Must be
         >= the retention model's ``t0`` (1 s).
+    jobs:
+        Fan the (technology, read time) cells across N forked workers
+        (or ``REPRO_JOBS``); results are bitwise-equal to serial.
+    plan_cache / plans_out:
+        Planner cache override, and an optional dict collecting the
+        resolved ``(technology, time) -> SelectionPlan`` mapping.
 
     Returns
     -------
@@ -89,6 +96,7 @@ def run_retention(scale, technologies=RETENTION_TECHNOLOGIES, times=None,
         nwc_targets=tuple(nwc_targets),
         profiles=profiles,
     )
+    cells = []
     for tech in profiles.values():
         # One shared stream for every read time: the same devices,
         # programmed and verified with the same draws, observed later and
@@ -102,20 +110,28 @@ def run_retention(scale, technologies=RETENTION_TECHNOLOGIES, times=None,
         device_key = "/".join(f"{k}={physical[k]!r}" for k in sorted(physical))
         root = RngStream(seed).child("retention", device_key)
         for t in times:
-            result.outcomes[(tech.name, float(t))] = run_method_sweep(
-                zoo,
-                sigma=None,
-                technology=tech,
-                read_time=float(t),
-                nwc_targets=nwc_targets,
-                mc_runs=scale.mc_runs_retention,
+            cells.append(ScenarioCell(
+                key=(tech.name, float(t)),
+                request=PlanRequest(
+                    methods=tuple(methods),
+                    nwc_targets=tuple(nwc_targets),
+                    technology=tech,
+                    read_time=float(t),
+                    weight_bits=zoo.spec.weight_bits,
+                ),
                 rng=root,
-                eval_samples=scale.eval_samples,
-                sense_samples=scale.sense_samples,
-                methods=methods,
-                batched=batched,
-                processes=processes,
-            )
+                mc_runs=scale.mc_runs_retention,
+            ))
+    orchestrator = ScenarioOrchestrator(
+        zoo, eval_samples=scale.eval_samples,
+        sense_samples=scale.sense_samples, cache=plan_cache,
+    )
+    result.outcomes.update(
+        orchestrator.run(cells, batched=batched, processes=processes,
+                         jobs=jobs)
+    )
+    if plans_out is not None:
+        plans_out.update(orchestrator.plans)
     return result
 
 

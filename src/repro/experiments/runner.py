@@ -58,14 +58,27 @@ def _run_fig1(scale, out_dir, batched=True):
     print(f"[saved {path}]")
 
 
-def _run_table1(scale, out_dir, batched=True, processes=None):
-    result = run_table1(scale, batched=batched, processes=processes)
+def _save_plans(plans, out_dir, name):
+    """Persist a scenario's resolved plans for offline reuse."""
+    from repro.plan import save_plans
+
+    path = save_plans(os.path.join(out_dir, f"{name}_plans.json"), plans)
+    print(f"[saved {path}]")
+
+
+def _run_table1(scale, out_dir, batched=True, processes=None, jobs=None,
+                save_plans=False):
+    plans = {} if save_plans else None
+    result = run_table1(scale, batched=batched, processes=processes,
+                        jobs=jobs, plans_out=plans)
     print(render_table1(result))
     for sigma, outcome in result.outcomes.items():
         path = save_sweep_csv(
             outcome, os.path.join(out_dir, f"table1_sigma{sigma:g}.csv")
         )
         print(f"[saved {path}]")
+    if plans is not None:
+        _save_plans(plans, out_dir, "table1")
 
 
 def _run_fig2(scale, out_dir, panel, batched=True, processes=None):
@@ -75,25 +88,40 @@ def _run_fig2(scale, out_dir, panel, batched=True, processes=None):
     print(f"[saved {path}]")
 
 
-def _run_devices(scale, out_dir, batched=True, processes=None):
-    result = run_devices(scale, batched=batched, processes=processes)
+def _run_devices(scale, out_dir, batched=True, processes=None, jobs=None,
+                 save_plans=False):
+    plans = {} if save_plans else None
+    result = run_devices(scale, batched=batched, processes=processes,
+                         jobs=jobs, plans_out=plans)
     print(render_devices(result))
     path = save_devices_csv(result, os.path.join(out_dir, "devices.csv"))
     print(f"[saved {path}]")
+    if plans is not None:
+        _save_plans(plans, out_dir, "devices")
 
 
-def _run_retention(scale, out_dir, batched=True, processes=None):
-    result = run_retention(scale, batched=batched, processes=processes)
+def _run_retention(scale, out_dir, batched=True, processes=None, jobs=None,
+                   save_plans=False):
+    plans = {} if save_plans else None
+    result = run_retention(scale, batched=batched, processes=processes,
+                           jobs=jobs, plans_out=plans)
     print(render_retention(result))
     path = save_retention_csv(result, os.path.join(out_dir, "retention.csv"))
     print(f"[saved {path}]")
+    if plans is not None:
+        _save_plans(plans, out_dir, "retention")
 
 
-def _run_spatial(scale, out_dir, batched=True, processes=None):
-    result = run_spatial(scale, batched=batched, processes=processes)
+def _run_spatial(scale, out_dir, batched=True, processes=None, jobs=None,
+                 save_plans=False):
+    plans = {} if save_plans else None
+    result = run_spatial(scale, batched=batched, processes=processes,
+                         jobs=jobs, plans_out=plans)
     print(render_spatial(result))
     path = save_spatial_csv(result, os.path.join(out_dir, "spatial.csv"))
     print(f"[saved {path}]")
+    if plans is not None:
+        _save_plans(plans, out_dir, "spatial")
 
 
 def _run_ablations(scale, out_dir):
@@ -134,6 +162,15 @@ def main(argv=None):
                         help="fan the scalar Monte Carlo loop across N "
                              "forked workers (for workloads too large to "
                              "batch in memory; or REPRO_MC_PROCESSES)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="fan a scenario's grid cells (table1 sigmas, "
+                             "devices technologies, retention/spatial "
+                             "points) across N forked workers; bitwise-"
+                             "identical to serial (or REPRO_JOBS)")
+    parser.add_argument("--save-plans", action="store_true",
+                        help="also write each scenario's resolved "
+                             "selection plans as <scenario>_plans.json "
+                             "for offline reuse")
     args = parser.parse_args(argv)
 
     scale = get_scale(args.scale)
@@ -149,19 +186,23 @@ def main(argv=None):
             _run_fig1(scale, out_dir, batched=batched)
         elif name == "table1":
             _run_table1(scale, out_dir, batched=batched,
-                        processes=args.processes)
+                        processes=args.processes, jobs=args.jobs,
+                        save_plans=args.save_plans)
         elif name.startswith("fig2"):
             _run_fig2(scale, out_dir, name[-1], batched=batched,
                       processes=args.processes)
         elif name == "devices":
             _run_devices(scale, out_dir, batched=batched,
-                         processes=args.processes)
+                         processes=args.processes, jobs=args.jobs,
+                         save_plans=args.save_plans)
         elif name == "retention":
             _run_retention(scale, out_dir, batched=batched,
-                           processes=args.processes)
+                           processes=args.processes, jobs=args.jobs,
+                           save_plans=args.save_plans)
         elif name == "spatial":
             _run_spatial(scale, out_dir, batched=batched,
-                         processes=args.processes)
+                         processes=args.processes, jobs=args.jobs,
+                         save_plans=args.save_plans)
         elif name == "ablations":
             _run_ablations(scale, out_dir)
         print(f"[{name} took {time.time() - start:.1f}s]")

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field, replace
 from repro.cim import resolve_technology
 from repro.core.metrics import DEFAULT_NWC_TARGETS
 from repro.experiments.model_zoo import load_workload
-from repro.experiments.sweeps import run_method_sweep
+from repro.plan import PlanRequest, ScenarioCell, ScenarioOrchestrator
 from repro.utils.rng import RngStream
 from repro.utils.tables import Table
 
@@ -48,7 +48,8 @@ class SpatialResult:
 def run_spatial(scale, technology="fefet-spatial", correlation_lengths=None,
                 nwc_targets=DEFAULT_NWC_TARGETS, methods=SPATIAL_METHODS,
                 workload="lenet-digits", seed=17, use_cache=True,
-                batched=True, processes=None):
+                batched=True, processes=None, jobs=None, plan_cache=None,
+                plans_out=None):
     """Run the clustered-failure stress test across correlation lengths.
 
     Parameters
@@ -62,6 +63,12 @@ def run_spatial(scale, technology="fefet-spatial", correlation_lengths=None,
         point runs a copy of it with that correlation length.
     correlation_lengths:
         Length grid in devices (default: the preset's); 0 means i.i.d.
+    jobs:
+        Fan the correlation-length cells across N forked workers (or
+        ``REPRO_JOBS``); results are bitwise-equal to serial.
+    plan_cache / plans_out:
+        Planner cache override, and an optional dict collecting the
+        resolved ``length -> SelectionPlan`` mapping.
 
     Returns
     -------
@@ -91,21 +98,30 @@ def run_spatial(scale, technology="fefet-spatial", correlation_lengths=None,
         clean_accuracy=zoo.clean_accuracy,
         nwc_targets=tuple(nwc_targets),
     )
-    for length in lengths:
-        tech = replace(base, correlation_length=float(length))
-        result.outcomes[float(length)] = run_method_sweep(
-            zoo,
-            sigma=None,
-            technology=tech,
-            nwc_targets=nwc_targets,
-            mc_runs=scale.mc_runs_spatial,
+    cells = [
+        ScenarioCell(
+            key=float(length),
+            request=PlanRequest(
+                methods=tuple(methods),
+                nwc_targets=tuple(nwc_targets),
+                technology=replace(base, correlation_length=float(length)),
+                weight_bits=zoo.spec.weight_bits,
+            ),
             rng=root,
-            eval_samples=scale.eval_samples,
-            sense_samples=scale.sense_samples,
-            methods=methods,
-            batched=batched,
-            processes=processes,
+            mc_runs=scale.mc_runs_spatial,
         )
+        for length in lengths
+    ]
+    orchestrator = ScenarioOrchestrator(
+        zoo, eval_samples=scale.eval_samples,
+        sense_samples=scale.sense_samples, cache=plan_cache,
+    )
+    result.outcomes.update(
+        orchestrator.run(cells, batched=batched, processes=processes,
+                         jobs=jobs)
+    )
+    if plans_out is not None:
+        plans_out.update(orchestrator.plans)
     return result
 
 

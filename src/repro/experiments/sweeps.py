@@ -267,6 +267,7 @@ def run_method_sweep(
     trial_block=None,
     technology=None,
     read_time=None,
+    orders=None,
 ):
     """Run the full paired Monte Carlo sweep for one workload and sigma.
 
@@ -317,6 +318,13 @@ def run_method_sweep(
         read; only meaningful when the technology's stack models drift.
         The in-situ baseline has no deployment-time read, so it is not
         supported together with ``read_time``.
+    orders:
+        Precomputed ``method -> flat index ranking`` (a
+        :class:`~repro.plan.SelectionPlan`'s ``orders``): methods found
+        here skip their in-sweep scoring entirely — in particular, no
+        curvature pass runs when both ``swim`` and ``hetero_swim``
+        arrive planned.  Missing methods are scored inline as before,
+        so partial plans compose.
 
     Returns
     -------
@@ -348,18 +356,26 @@ def run_method_sweep(
     # Deterministic rankings are computed once (they do not depend on the
     # noise draw); random gets a fresh permutation per run.  swim and
     # hetero_swim share one curvature accumulation — they differ only in
-    # the variance map multiplied in before ranking.
+    # the variance map multiplied in before ranking.  Methods arriving
+    # in ``orders`` (planned by a PlanEngine, typically shared across a
+    # whole scenario grid) skip their scoring here.
     accelerator.clear()
-    orders = {}
-    if "swim" in methods or "hetero_swim" in methods:
+    orders = (
+        {m: np.asarray(o, dtype=np.int64) for m, o in orders.items()
+         if m in methods}
+        if orders is not None
+        else {}
+    )
+    if any(m in methods and m not in orders
+           for m in ("swim", "hetero_swim")):
         curvature_scorer = SwimScorer(
             batch_size=min(256, sense_samples), max_batches=curvature_batches
         )
         curvature = curvature_scorer.scores(model, space, sense_x, sense_y)
         tie = curvature_scorer.tie_break(model, space)
-    if "swim" in methods:
+    if "swim" in methods and "swim" not in orders:
         orders["swim"] = rank_descending(curvature, tie)
-    if "hetero_swim" in methods:
+    if "hetero_swim" in methods and "hetero_swim" not in orders:
         variance = (
             variance_map_from_stack(
                 space, model, mapping, stack, read_time=read_time
@@ -368,7 +384,7 @@ def run_method_sweep(
             else variance_map_from_mapping(space, model, mapping)
         )
         orders["hetero_swim"] = rank_descending(curvature * variance, tie)
-    if "magnitude" in methods:
+    if "magnitude" in methods and "magnitude" not in orders:
         orders["magnitude"] = MagnitudeScorer().ranking(
             model, space, sense_x, sense_y
         )

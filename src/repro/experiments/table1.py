@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 
 from repro.core.metrics import DEFAULT_NWC_TARGETS
 from repro.experiments.model_zoo import load_workload
-from repro.experiments.sweeps import run_method_sweep
+from repro.plan import PlanRequest, ScenarioCell, ScenarioOrchestrator
 from repro.utils.rng import RngStream
 from repro.utils.tables import Table
 
@@ -39,11 +39,16 @@ class Table1Result:
 
 def run_table1(scale, sigmas=TABLE1_SIGMAS, nwc_targets=DEFAULT_NWC_TARGETS,
                methods=("swim", "magnitude", "random", "insitu"),
-               seed=1, use_cache=True, batched=True, processes=None):
+               seed=1, use_cache=True, batched=True, processes=None,
+               jobs=None, plan_cache=None, plans_out=None):
     """Run the Table 1 experiment at a given scale preset.
 
     ``batched`` selects the trial-batched Monte Carlo engine (default);
     ``processes`` opts into the scalar process-pool fallback instead.
+    ``jobs`` fans the per-sigma cells across forked workers (results
+    bitwise-equal to serial); the deterministic selections themselves
+    are planned once for all sigmas — the curvature ranking does not
+    depend on the device noise level.
 
     Returns
     -------
@@ -56,20 +61,31 @@ def run_table1(scale, sigmas=TABLE1_SIGMAS, nwc_targets=DEFAULT_NWC_TARGETS,
         clean_accuracy=zoo.clean_accuracy,
         nwc_targets=tuple(nwc_targets),
     )
-    for sigma in sigmas:
-        result.outcomes[sigma] = run_method_sweep(
-            zoo,
-            sigma=sigma,
-            nwc_targets=nwc_targets,
-            mc_runs=scale.mc_runs_table1,
+    cells = [
+        ScenarioCell(
+            key=sigma,
+            request=PlanRequest(
+                methods=tuple(methods),
+                nwc_targets=tuple(nwc_targets),
+                sigma=sigma,
+                weight_bits=zoo.spec.weight_bits,
+            ),
             rng=root.child("sigma", str(sigma)),
-            eval_samples=scale.eval_samples,
-            sense_samples=scale.sense_samples,
-            methods=methods,
-            insitu_lr=scale.insitu_lr,
-            batched=batched,
-            processes=processes,
+            mc_runs=scale.mc_runs_table1,
+            sweep_kwargs={"insitu_lr": scale.insitu_lr},
         )
+        for sigma in sigmas
+    ]
+    orchestrator = ScenarioOrchestrator(
+        zoo, eval_samples=scale.eval_samples,
+        sense_samples=scale.sense_samples, cache=plan_cache,
+    )
+    result.outcomes.update(
+        orchestrator.run(cells, batched=batched, processes=processes,
+                         jobs=jobs)
+    )
+    if plans_out is not None:
+        plans_out.update(orchestrator.plans)
     return result
 
 

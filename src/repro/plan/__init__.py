@@ -1,0 +1,49 @@
+"""Selection planning: cached, batched, parallel-orchestrated selection.
+
+The layer between the device physics (:mod:`repro.cim`) and the
+experiment drivers (:mod:`repro.experiments`): scenario grids are
+expressed as batched :class:`PlanRequest`\\ s, resolved by a
+:class:`PlanEngine` whose pure stages (curvature, variance maps,
+selection orders) live in a content-addressed
+:class:`PlanArtifactCache`, and executed as independent Monte Carlo
+cells by a :class:`ScenarioOrchestrator` — serially or across a fork
+pool (``--jobs N``) with bitwise-identical results.
+"""
+
+from repro.plan.cache import (
+    PLAN_CACHE_VERSION,
+    PlanArtifactCache,
+    artifact_key,
+    data_digest,
+    model_digest,
+)
+from repro.plan.engine import (
+    PLANNED_METHODS,
+    PlanEngine,
+    PlanRequest,
+    SelectionPlan,
+    load_plans,
+    save_plans,
+)
+from repro.plan.orchestrator import (
+    ScenarioCell,
+    ScenarioOrchestrator,
+    resolve_jobs,
+)
+
+__all__ = [
+    "PLAN_CACHE_VERSION",
+    "PLANNED_METHODS",
+    "PlanArtifactCache",
+    "PlanEngine",
+    "PlanRequest",
+    "ScenarioCell",
+    "ScenarioOrchestrator",
+    "SelectionPlan",
+    "artifact_key",
+    "data_digest",
+    "load_plans",
+    "model_digest",
+    "resolve_jobs",
+    "save_plans",
+]

@@ -1,0 +1,205 @@
+"""Content-addressed artifact cache for the selection-planning subsystem.
+
+Every scenario grid re-derives the same expensive intermediates —
+curvature flat vectors, stack variance maps, resolved selection orders —
+once per grid point.  This cache makes them first-class artifacts:
+
+- **content-addressed keys**: an artifact's key is the SHA-256 of a
+  canonical JSON description of everything that determines it — the
+  model's weight digest, the sense-set digest, the technology / stack
+  parameter dict, ``read_time`` and the scorer parameters.  Mutating any
+  of them (perturb a weight, change a drift exponent) changes the key,
+  so stale artifacts are unreachable rather than invalidated by fiat.
+- **memory + on-disk backends**: the in-process dict serves repeated
+  lookups within one planning batch; the ``.npz`` store under
+  ``$REPRO_CACHE_DIR/plan/v<N>/`` (see
+  :func:`repro.utils.cache.default_cache_dir`) survives across processes
+  and sessions, which is what makes warm re-planning of a whole
+  retention grid cost one disk read instead of one curvature pass.
+- **versioned invalidation**: :data:`PLAN_CACHE_VERSION` is folded into
+  both the key and the directory name; bumping it (because key layout or
+  artifact semantics changed) orphans every older entry at once.
+
+Keys are derived purely from content, never from wall-clock or process
+state, so two processes planning the same grid agree byte-for-byte —
+the property the cross-process tests pin down.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+import numpy as np
+
+from repro.utils.cache import default_cache_dir
+
+__all__ = [
+    "PLAN_CACHE_VERSION",
+    "PlanArtifactCache",
+    "artifact_key",
+    "data_digest",
+    "model_digest",
+]
+
+#: Bump when the key layout or the artifact semantics change: every
+#: older on-disk entry becomes unreachable (it lives under the old
+#: version directory and hashes with the old version number).
+PLAN_CACHE_VERSION = 1
+
+
+def model_digest(model):
+    """Content digest of a model's named parameters (shapes + bytes).
+
+    Stable across processes and platforms: parameters are folded in
+    sorted-name order with their shape and dtype, so any weight
+    mutation — including in-place edits that keep the object identity —
+    produces a different digest.
+    """
+    digest = hashlib.sha256()
+    params = dict(model.named_parameters())
+    for name in sorted(params):
+        data = np.ascontiguousarray(params[name].data)
+        digest.update(name.encode("utf-8"))
+        digest.update(repr(data.shape).encode("utf-8"))
+        digest.update(str(data.dtype).encode("utf-8"))
+        digest.update(data.tobytes())
+    return digest.hexdigest()[:16]
+
+
+def data_digest(*arrays):
+    """Content digest of one or more numpy arrays (the sense set)."""
+    digest = hashlib.sha256()
+    for array in arrays:
+        data = np.ascontiguousarray(array)
+        digest.update(repr(data.shape).encode("utf-8"))
+        digest.update(str(data.dtype).encode("utf-8"))
+        digest.update(data.tobytes())
+    return digest.hexdigest()[:16]
+
+
+def artifact_key(kind, config, version=PLAN_CACHE_VERSION):
+    """Deterministic key for one artifact kind + configuration dict.
+
+    ``config`` must be JSON-serializable (digests, parameter dicts,
+    numbers, None); the JSON is canonicalized with sorted keys so dict
+    insertion order never leaks into the key.
+    """
+    text = json.dumps(
+        {"version": int(version), "kind": str(kind), "config": config},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:32]
+
+
+class PlanArtifactCache:
+    """Two-tier (memory, disk) store of planning artifacts.
+
+    Artifacts are ``name -> numpy array`` dicts (a curvature artifact
+    holds ``scores`` and ``tie``; an order artifact holds ``order``).
+    Cached arrays are returned by reference from the memory tier —
+    treat them as immutable.
+
+    Parameters
+    ----------
+    root:
+        Base cache directory (default: :func:`~repro.utils.cache.
+        default_cache_dir`, i.e. ``$REPRO_CACHE_DIR`` aware).
+    memory / disk:
+        Enable the in-process and on-disk tiers.  Disabling disk makes
+        the cache session-local (useful in tests); disabling memory
+        forces every hit through the filesystem.
+    version:
+        Key/layout version (default :data:`PLAN_CACHE_VERSION`).
+    """
+
+    def __init__(self, root=None, memory=True, disk=True,
+                 version=PLAN_CACHE_VERSION):
+        self.version = int(version)
+        self.disk = bool(disk)
+        self._memory = {} if memory else None
+        self.root = os.path.join(
+            root or default_cache_dir(), "plan", f"v{self.version}"
+        )
+        self.hits = {"memory": 0, "disk": 0}
+        self.misses = 0
+
+    # ------------------------------------------------------------ addressing
+
+    def key(self, kind, config):
+        """Content-addressed key of one artifact."""
+        return artifact_key(kind, config, version=self.version)
+
+    def path_for(self, kind, config):
+        """On-disk path of one artifact (whether or not it exists)."""
+        return os.path.join(self.root, f"{kind}-{self.key(kind, config)}.npz")
+
+    # ---------------------------------------------------------------- access
+
+    def get(self, kind, config):
+        """Load an artifact, or None on miss (memory tier first)."""
+        key = self.key(kind, config)
+        if self._memory is not None and key in self._memory:
+            self.hits["memory"] += 1
+            return self._memory[key]
+        if self.disk:
+            path = os.path.join(self.root, f"{kind}-{key}.npz")
+            if os.path.exists(path):
+                with np.load(path, allow_pickle=False) as handle:
+                    arrays = {name: handle[name] for name in handle.files}
+                if self._memory is not None:
+                    self._memory[key] = arrays
+                self.hits["disk"] += 1
+                return arrays
+        self.misses += 1
+        return None
+
+    def put(self, kind, config, arrays):
+        """Store an artifact in every enabled tier; returns it."""
+        key = self.key(kind, config)
+        arrays = {name: np.asarray(value) for name, value in arrays.items()}
+        if self._memory is not None:
+            self._memory[key] = arrays
+        if self.disk:
+            os.makedirs(self.root, exist_ok=True)
+            path = os.path.join(self.root, f"{kind}-{key}.npz")
+            # Write-then-rename so a concurrent reader (parallel cells,
+            # parallel CI shards) never sees a half-written artifact.
+            tmp = f"{path}.tmp.{os.getpid()}"
+            with open(tmp, "wb") as handle:
+                np.savez(handle, **arrays)
+            os.replace(tmp, path)
+        return arrays
+
+    def get_or_create(self, kind, config, producer):
+        """Load the artifact or produce + store it.
+
+        ``producer`` is a zero-argument callable returning the
+        ``name -> array`` dict; it runs only on a full (memory + disk)
+        miss.
+        """
+        arrays = self.get(kind, config)
+        if arrays is not None:
+            return arrays
+        return self.put(kind, config, producer())
+
+    # -------------------------------------------------------------- plumbing
+
+    def clear_memory(self):
+        """Drop the in-process tier (disk entries survive)."""
+        if self._memory is not None:
+            self._memory.clear()
+
+    def stats(self):
+        """Hit/miss counters (memory hits, disk hits, misses)."""
+        return {**self.hits, "misses": self.misses}
+
+    def __repr__(self):
+        tiers = []
+        if self._memory is not None:
+            tiers.append(f"memory[{len(self._memory)}]")
+        if self.disk:
+            tiers.append(f"disk[{self.root}]")
+        return f"PlanArtifactCache(v{self.version}, {' + '.join(tiers) or 'off'})"

@@ -1,0 +1,533 @@
+"""Batched selection planning: one curvature pass serves a whole grid.
+
+The scenario runners sweep grids — read times, correlation lengths,
+sigmas, technologies — and each grid point needs a resolved selection
+order per method.  Before this subsystem every point paid its own
+sensitivity pass even though the curvature diagonal depends only on
+(model, sense set), not on the device physics of the point.  The
+:class:`PlanEngine` splits planning into cacheable pure stages:
+
+- **curvature** (model, sense set, scorer parameters) — the expensive
+  second-derivative accumulation, shared by ``swim`` and
+  ``hetero_swim`` across *every* grid point;
+- **variance** (model, technology/stack dict, read time, wear) — the
+  analytic per-weight ``E[dw^2]`` map, one per distinct physics point;
+- **order** (curvature x variance x method) — the resolved descending
+  ranking, which is what a deployment actually consumes.
+
+Each stage is content-addressed in a :class:`~repro.plan.cache.
+PlanArtifactCache`, so a warm re-plan of a whole retention grid is a
+handful of disk reads, and a batch of :class:`PlanRequest`\\ s
+deduplicates shared stages naturally: planning N read times costs one
+curvature pass, N variance passes, and N rankings.
+
+The resolved :class:`SelectionPlan` is a standalone artifact: it can be
+applied to any accelerator hosting the same model
+(:meth:`SelectionPlan.apply`) and round-trips through JSON for offline
+reuse (:func:`save_plans` / :func:`load_plans`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.extensions import (
+    variance_map_from_mapping,
+    variance_map_from_stack,
+)
+from repro.core.metrics import DEFAULT_NWC_TARGETS
+from repro.core.selection import WeightSpace, rank_descending
+from repro.core.sensitivity import MagnitudeScorer, SwimScorer
+from repro.plan.cache import (
+    PLAN_CACHE_VERSION,
+    PlanArtifactCache,
+    data_digest,
+    model_digest,
+)
+
+__all__ = [
+    "PLANNED_METHODS",
+    "PlanEngine",
+    "PlanRequest",
+    "SelectionPlan",
+    "load_plans",
+    "save_plans",
+]
+
+#: Methods whose rankings are deterministic functions of (model, sense
+#: set, physics) and therefore plannable/cacheable.  ``random`` re-draws
+#: per trial and ``insitu`` trains on-chip; neither has a plan.
+PLANNED_METHODS = ("swim", "hetero_swim", "magnitude")
+
+
+@dataclass(frozen=True)
+class PlanRequest:
+    """One grid point's planning inputs.
+
+    Attributes
+    ----------
+    methods:
+        Sweep methods; only those in :data:`PLANNED_METHODS` are
+        resolved into orders (the rest ride through unplanned).
+    nwc_targets:
+        The NWC budget grid; the plan resolves one selection count per
+        budget.
+    technology:
+        Registered :class:`~repro.cim.DeviceTechnology` name or
+        instance, or None for the paper's plain-sigma setting.
+    sigma:
+        Device sigma override (required when ``technology`` is None).
+    read_time:
+        Seconds since programming at which the deployment is read;
+        feeds the drift-aware variance map for ``hetero_swim``.
+    weight_bits / device_bits:
+        Workload quantization bits M, and cell bits K when no
+        technology supplies them.
+    curvature_batches:
+        Batches accumulated in the shared curvature pass.
+    wear_inflation:
+        Manual programming-noise variance multiplier (1.0 = fresh).
+    wear_consumed:
+        Endurance consumed fraction; when set (and ``wear_inflation``
+        is left at 1.0) the inflation is derived from the technology's
+        sigma-growth-vs-cycling curve — see
+        :meth:`~repro.cim.devices.EnduranceModel.wear_inflation`.
+    """
+
+    methods: tuple = PLANNED_METHODS
+    nwc_targets: tuple = DEFAULT_NWC_TARGETS
+    technology: object = None
+    sigma: float = None
+    read_time: float = None
+    weight_bits: int = 4
+    device_bits: int = 4
+    curvature_batches: int = 2
+    wear_inflation: float = 1.0
+    wear_consumed: float = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "methods", tuple(self.methods))
+        object.__setattr__(self, "nwc_targets", tuple(self.nwc_targets))
+
+    def resolve(self):
+        """``(technology, device, mapping, stack)`` exactly as the sweep
+        machinery derives them, so planned orders match inline ones
+        bit for bit."""
+        from repro.cim import DeviceConfig, MappingConfig, resolve_technology
+
+        if self.technology is not None:
+            tech = resolve_technology(self.technology)
+            device = tech.device_config()
+            if self.sigma is not None:
+                device = device.with_sigma(self.sigma)
+            stack = tech.build_stack()
+        else:
+            tech = None
+            device = DeviceConfig(bits=self.device_bits, sigma=self.sigma)
+            stack = None
+        mapping = MappingConfig(weight_bits=self.weight_bits, device=device)
+        return tech, device, mapping, stack
+
+    def effective_wear_inflation(self, technology=None):
+        """The variance multiplier this request plans for.
+
+        The manual ``wear_inflation`` knob overrides; otherwise a
+        ``wear_consumed`` fraction is run through the technology's
+        endurance curve (fresh devices when neither is set).
+        """
+        if self.wear_inflation != 1.0 or self.wear_consumed is None:
+            return float(self.wear_inflation)
+        if technology is None:
+            technology, _, _, _ = self.resolve()
+        if technology is None:
+            return 1.0
+        return technology.endurance_model().wear_inflation(self.wear_consumed)
+
+
+@dataclass
+class SelectionPlan:
+    """A resolved, deployable selection for one grid point.
+
+    ``orders`` maps each planned method to its full descending flat
+    ranking over the model's weight space; ``counts`` aligns with
+    ``nwc_targets`` (weights selected at each budget).  The plan is
+    model-content-bound: :meth:`apply` refuses a weight space of a
+    different size.
+    """
+
+    workload: str
+    methods: tuple
+    nwc_targets: tuple
+    counts: tuple
+    orders: dict = field(default_factory=dict)
+    technology: object = None
+    sigma: float = None
+    read_time: float = None
+    weight_bits: int = 4
+    device_bits: int = 4
+    total_weights: int = 0
+    wear_inflation: float = 1.0
+    model: str = ""
+    cache_version: int = PLAN_CACHE_VERSION
+
+    def order(self, method):
+        """The resolved descending ranking of one method."""
+        if method not in self.orders:
+            raise KeyError(
+                f"plan has no order for {method!r}; planned: "
+                f"{sorted(self.orders)}"
+            )
+        return self.orders[method]
+
+    def count_for(self, nwc_target):
+        """Selected-weight count at one budget of the plan's grid."""
+        targets = np.asarray(self.nwc_targets, dtype=np.float64)
+        matches = np.nonzero(np.isclose(targets, float(nwc_target)))[0]
+        if matches.size == 0:
+            raise KeyError(
+                f"NWC target {nwc_target!r} is not on the plan's grid "
+                f"{self.nwc_targets}"
+            )
+        return int(self.counts[int(matches[0])])
+
+    def masks(self, space, method, nwc_target):
+        """Per-tensor boolean masks for one (method, budget) cell."""
+        if space.total_size != self.total_weights:
+            raise ValueError(
+                f"plan was resolved over {self.total_weights} weights but "
+                f"the weight space has {space.total_size}"
+            )
+        count = self.count_for(nwc_target)
+        return space.masks_from_indices(self.order(method)[:count])
+
+    def apply(self, accelerator, method=None, nwc_target=None,
+              read_stream=None):
+        """Deploy one (method, budget) cell on a verified accelerator.
+
+        The accelerator must have been programmed and write-verified;
+        the plan contributes the selection (and its ``read_time``, so a
+        drifting stack ages the deployment to the planned moment).
+        Defaults: the first planned method, the last (largest) budget.
+
+        Returns
+        -------
+        float
+            Achieved NWC, as
+            :meth:`~repro.cim.CimAccelerator.apply_selection`.
+        """
+        if method is None:
+            method = next(iter(self.orders))
+        if nwc_target is None:
+            nwc_target = self.nwc_targets[-1]
+        space = WeightSpace.from_model(accelerator.model)
+        masks = self.masks(space, method, nwc_target)
+        return accelerator.apply_selection(
+            masks, read_time=self.read_time, read_stream=read_stream
+        )
+
+    # -------------------------------------------------------- serialization
+
+    def to_json(self):
+        """JSON-serializable dict (round-trips via :meth:`from_json`)."""
+        technology = self.technology
+        if technology is not None and not isinstance(technology, str):
+            technology = technology.to_dict()
+        return {
+            "workload": self.workload,
+            "methods": list(self.methods),
+            "nwc_targets": list(self.nwc_targets),
+            "counts": [int(c) for c in self.counts],
+            "orders": {
+                method: np.asarray(order).tolist()
+                for method, order in self.orders.items()
+            },
+            "technology": technology,
+            "sigma": self.sigma,
+            "read_time": self.read_time,
+            "weight_bits": int(self.weight_bits),
+            "device_bits": int(self.device_bits),
+            "total_weights": int(self.total_weights),
+            "wear_inflation": float(self.wear_inflation),
+            "model": self.model,
+            "cache_version": int(self.cache_version),
+        }
+
+    @classmethod
+    def from_json(cls, data):
+        """Rebuild a plan from :meth:`to_json` output."""
+        technology = data.get("technology")
+        if isinstance(technology, dict):
+            from repro.cim import DeviceTechnology
+
+            technology = DeviceTechnology.from_dict(technology)
+        return cls(
+            workload=data["workload"],
+            methods=tuple(data["methods"]),
+            nwc_targets=tuple(data["nwc_targets"]),
+            counts=tuple(int(c) for c in data["counts"]),
+            orders={
+                method: np.asarray(order, dtype=np.int64)
+                for method, order in data["orders"].items()
+            },
+            technology=technology,
+            sigma=data.get("sigma"),
+            read_time=data.get("read_time"),
+            weight_bits=int(data.get("weight_bits", 4)),
+            device_bits=int(data.get("device_bits", 4)),
+            total_weights=int(data.get("total_weights", 0)),
+            wear_inflation=float(data.get("wear_inflation", 1.0)),
+            model=data.get("model", ""),
+            cache_version=int(data.get("cache_version", PLAN_CACHE_VERSION)),
+        )
+
+
+def save_plans(path, plans):
+    """Write a ``cell key -> SelectionPlan`` mapping as one JSON file.
+
+    Cell keys are stringified with ``repr`` (scenario keys are names or
+    (name, value) tuples); :func:`load_plans` returns them as written.
+    """
+    payload = {
+        "cache_version": PLAN_CACHE_VERSION,
+        "plans": [
+            {"cell": repr(key), "plan": plan.to_json()}
+            for key, plan in plans.items()
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    return path
+
+
+def load_plans(path):
+    """Load :func:`save_plans` output: ``cell repr -> SelectionPlan``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return {
+        entry["cell"]: SelectionPlan.from_json(entry["plan"])
+        for entry in payload["plans"]
+    }
+
+
+class PlanEngine:
+    """Resolves batched :class:`PlanRequest`\\ s against one model.
+
+    Parameters
+    ----------
+    model:
+        The trained network the plans select over.
+    sense_x / sense_y:
+        The sensitivity data (training subset — rankings must never see
+        the evaluation set).
+    workload:
+        Label stored on emitted plans.
+    cache:
+        A :class:`~repro.plan.cache.PlanArtifactCache` (default: the
+        shared on-disk cache under ``$REPRO_CACHE_DIR``).
+    curvature_batch_size:
+        Batch size of the curvature accumulation (default
+        ``min(256, len(sense_x))`` — the sweep machinery's choice).
+
+    Attributes
+    ----------
+    stats:
+        ``{"curvature_passes", "variance_passes", "ranking_passes",
+        "plans"}`` — producer-side counters; a warm cache keeps all of
+        the pass counters at zero.
+    """
+
+    def __init__(self, model, sense_x, sense_y, workload="", cache=None,
+                 curvature_batch_size=None):
+        self.model = model
+        self.space = WeightSpace.from_model(model)
+        self.sense_x = sense_x
+        self.sense_y = sense_y
+        self.workload = workload
+        self.cache = cache if cache is not None else PlanArtifactCache()
+        self.curvature_batch_size = int(
+            curvature_batch_size
+            if curvature_batch_size is not None
+            else min(256, len(sense_x))
+        )
+        self.stats = {
+            "curvature_passes": 0,
+            "variance_passes": 0,
+            "ranking_passes": 0,
+            "plans": 0,
+        }
+        self._model_digest = model_digest(model)
+        self._sense_digest = data_digest(
+            np.asarray(sense_x), np.asarray(sense_y)
+        )
+
+    # ---------------------------------------------------------- stage configs
+
+    def _curvature_config(self, curvature_batches):
+        return {
+            "model": self._model_digest,
+            "sense": self._sense_digest,
+            "batch_size": self.curvature_batch_size,
+            "max_batches": int(curvature_batches),
+        }
+
+    def _variance_config(self, request, technology, mapping, stack):
+        return {
+            "model": self._model_digest,
+            "technology": technology.to_dict() if technology else None,
+            "sigma": request.sigma,
+            "weight_bits": int(mapping.weight_bits),
+            "device_bits": int(mapping.device.bits),
+            "differential": bool(mapping.differential),
+            "read_time": request.read_time if stack is not None else None,
+            "wear_inflation": request.effective_wear_inflation(technology),
+        }
+
+    # ------------------------------------------------------------ pure stages
+
+    def curvature(self, curvature_batches=2):
+        """The shared curvature pass: ``(scores, tie)`` flat vectors.
+
+        Cached on (model digest, sense digest, scorer parameters), so a
+        whole scenario grid — and every later warm re-plan — costs one
+        second-derivative accumulation.
+        """
+        config = self._curvature_config(curvature_batches)
+
+        def produce():
+            self.stats["curvature_passes"] += 1
+            scorer = SwimScorer(
+                batch_size=self.curvature_batch_size,
+                max_batches=int(curvature_batches),
+            )
+            return {
+                "scores": scorer.scores(
+                    self.model, self.space, self.sense_x, self.sense_y
+                ),
+                "tie": scorer.tie_break(self.model, self.space),
+            }
+
+        arrays = self.cache.get_or_create("curvature", config, produce)
+        return arrays["scores"], arrays["tie"]
+
+    def variance(self, request, resolved=None):
+        """The per-weight ``E[dw^2]`` map of one request's physics point."""
+        technology, _, mapping, stack = (
+            resolved if resolved is not None else request.resolve()
+        )
+        config = self._variance_config(request, technology, mapping, stack)
+
+        def produce():
+            self.stats["variance_passes"] += 1
+            if stack is not None:
+                variance = variance_map_from_stack(
+                    self.space, self.model, mapping, stack,
+                    read_time=request.read_time,
+                    wear_inflation=config["wear_inflation"],
+                )
+            else:
+                variance = variance_map_from_mapping(
+                    self.space, self.model, mapping
+                )
+            return {"variance": variance}
+
+        return self.cache.get_or_create("variance", config, produce)["variance"]
+
+    # -------------------------------------------------------------- planning
+
+    def _order(self, method, request, resolved):
+        """The cached descending ranking of one (method, request) pair.
+
+        Order artifacts are keyed on the *configs* of their inputs (not
+        the arrays), so a warm hit loads the ranking without touching
+        the curvature or variance stages at all.
+        """
+        technology, _, mapping, stack = resolved
+        if method == "swim":
+            config = {
+                "method": "swim",
+                "curvature": self._curvature_config(request.curvature_batches),
+            }
+
+            def produce():
+                self.stats["ranking_passes"] += 1
+                scores, tie = self.curvature(request.curvature_batches)
+                return {"order": rank_descending(scores, tie)}
+
+        elif method == "hetero_swim":
+            config = {
+                "method": "hetero_swim",
+                "curvature": self._curvature_config(request.curvature_batches),
+                "variance": self._variance_config(
+                    request, technology, mapping, stack
+                ),
+            }
+
+            def produce():
+                self.stats["ranking_passes"] += 1
+                scores, tie = self.curvature(request.curvature_batches)
+                return {
+                    "order": rank_descending(
+                        scores * self.variance(request, resolved), tie
+                    )
+                }
+
+        elif method == "magnitude":
+            config = {"method": "magnitude", "model": self._model_digest}
+
+            def produce():
+                self.stats["ranking_passes"] += 1
+                return {
+                    "order": MagnitudeScorer().ranking(
+                        self.model, self.space, None, None
+                    )
+                }
+
+        else:
+            raise KeyError(
+                f"method {method!r} has no deterministic plan; plannable: "
+                f"{PLANNED_METHODS}"
+            )
+        return self.cache.get_or_create("order", config, produce)["order"]
+
+    def plan(self, request):
+        """Resolve one request into a :class:`SelectionPlan`."""
+        resolved = request.resolve()
+        technology = resolved[0]
+        orders = {
+            method: self._order(method, request, resolved)
+            for method in request.methods
+            if method in PLANNED_METHODS
+        }
+        self.stats["plans"] += 1
+        return SelectionPlan(
+            workload=self.workload,
+            methods=request.methods,
+            nwc_targets=request.nwc_targets,
+            counts=tuple(
+                int(round(target * self.space.total_size))
+                for target in request.nwc_targets
+            ),
+            orders=orders,
+            technology=technology,
+            sigma=request.sigma,
+            read_time=request.read_time,
+            weight_bits=request.weight_bits,
+            device_bits=request.device_bits,
+            total_weights=self.space.total_size,
+            wear_inflation=request.effective_wear_inflation(technology),
+            model=self._model_digest,
+            cache_version=self.cache.version,
+        )
+
+    def plan_batch(self, requests):
+        """Resolve a batch of requests, deduplicating shared stages.
+
+        Deduplication is structural: every stage is content-addressed,
+        so requests sharing a curvature (or variance) config hit the
+        cache after the first resolution — a retention grid of N read
+        times costs one curvature pass total.
+        """
+        return [self.plan(request) for request in requests]

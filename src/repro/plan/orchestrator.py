@@ -1,0 +1,226 @@
+"""Scenario orchestration: plan a grid once, evaluate its cells in parallel.
+
+A scenario (devices / retention / spatial / table1) is a grid of
+independent Monte Carlo evaluation cells that differ only in physics
+parameters (technology, read time, correlation length, sigma).  The
+orchestrator expresses the grid as :class:`~repro.plan.engine.
+PlanRequest`\\ s, resolves them through one :class:`~repro.plan.engine.
+PlanEngine` (so shared stages — above all the curvature pass — run
+once), and then maps the evaluation cells over a process pool
+(``jobs=N`` / ``REPRO_JOBS``).
+
+Determinism
+-----------
+Every cell derives *all* of its randomness from its own named
+:class:`~repro.utils.rng.RngStream` (the per-trial substream discipline
+of the Monte Carlo engine), and the planned orders are computed before
+any cell runs — so no mutable state is shared between cells, and the
+parallel map is bitwise-equal to the serial loop.  The pool crosses the
+model via ``fork`` (models carry closures that do not pickle), exactly
+like the Monte Carlo engine's trial pool; on platforms without fork the
+orchestrator falls back to the serial loop with a warning.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import warnings
+from dataclasses import dataclass, field
+
+from repro.core.mc import resolve_processes
+from repro.plan.engine import PlanEngine, PlanRequest
+
+__all__ = ["ScenarioCell", "ScenarioOrchestrator", "resolve_jobs"]
+
+# Fork-inherited payload, mirroring the Monte Carlo engine's pool: set
+# immediately before the pool is created so workers receive it through
+# fork without pickling.
+_FORK_CELL = None
+
+
+def _fork_cell(index):
+    return _FORK_CELL(index)
+
+
+def resolve_jobs(jobs=None):
+    """Resolve a scenario worker count: explicit arg, else ``REPRO_JOBS``."""
+    if jobs is None:
+        jobs = int(os.environ.get("REPRO_JOBS", "0")) or None
+    if jobs is not None and jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    return jobs
+
+
+@dataclass
+class ScenarioCell:
+    """One grid point: a plan request plus its Monte Carlo envelope.
+
+    Attributes
+    ----------
+    key:
+        Scenario-specific cell identity (technology name, (technology,
+        read time) pair, correlation length, sigma) — the key of the
+        scenario's outcome dict.
+    request:
+        The :class:`~repro.plan.engine.PlanRequest` describing the
+        cell's physics and method set.
+    rng:
+        Root :class:`~repro.utils.rng.RngStream` of the cell's Monte
+        Carlo sweep.  Scenarios that pair draws across cells (retention
+        read times, spatial correlation lengths) pass the *same* stream
+        to every paired cell.
+    mc_runs:
+        Monte Carlo trials of the cell.
+    sweep_kwargs:
+        Extra keyword arguments forwarded to
+        :func:`~repro.experiments.sweeps.run_method_sweep` (e.g.
+        ``insitu_lr`` for Table 1).
+    """
+
+    key: object
+    request: PlanRequest
+    rng: object
+    mc_runs: int
+    sweep_kwargs: dict = field(default_factory=dict)
+
+
+class ScenarioOrchestrator:
+    """Plans and executes a scenario's cell grid.
+
+    Parameters
+    ----------
+    zoo:
+        The :class:`~repro.experiments.model_zoo.ZooModel` every cell
+        evaluates.
+    eval_samples / sense_samples:
+        Evaluation and sensitivity subset sizes (the scale preset's).
+    cache:
+        Optional :class:`~repro.plan.cache.PlanArtifactCache` for the
+        engine (default: the shared on-disk cache).
+    engine:
+        Optional pre-built :class:`~repro.plan.engine.PlanEngine`
+        (overrides ``cache``); the orchestrator otherwise builds one on
+        the zoo's training subset, mirroring the sweep machinery's
+        sense-set slicing.
+
+    Attributes
+    ----------
+    plans:
+        ``cell key -> SelectionPlan`` of the most recent :meth:`run`
+        (or :meth:`plan_cells`) — the offline-reusable artifact.
+    """
+
+    def __init__(self, zoo, eval_samples=400, sense_samples=512, cache=None,
+                 engine=None):
+        self.zoo = zoo
+        self.eval_samples = int(eval_samples)
+        self.sense_samples = int(sense_samples)
+        if engine is None:
+            engine = PlanEngine(
+                zoo.model,
+                zoo.data.train_x[:sense_samples],
+                zoo.data.train_y[:sense_samples],
+                workload=zoo.spec.key,
+                cache=cache,
+                curvature_batch_size=min(256, int(sense_samples)),
+            )
+        self.engine = engine
+        self.plans = {}
+
+    def plan_cells(self, cells):
+        """Resolve every cell's plan (shared stages run once).
+
+        Returns — and stores on :attr:`plans` — the
+        ``cell key -> SelectionPlan`` mapping.
+        """
+        self.plans = {
+            cell.key: plan
+            for cell, plan in zip(
+                cells, self.engine.plan_batch([c.request for c in cells])
+            )
+        }
+        return self.plans
+
+    def run(self, cells, batched=True, processes=None, jobs=None):
+        """Execute every cell's Monte Carlo sweep with planned orders.
+
+        Parameters
+        ----------
+        cells:
+            :class:`ScenarioCell` grid, in output order.
+        batched / processes:
+            Monte Carlo path selection inside each cell, as in
+            :func:`~repro.experiments.sweeps.run_method_sweep`.
+        jobs:
+            Fan the *cells* across N forked workers (or ``REPRO_JOBS``).
+            Mutually exclusive with ``processes`` (which parallelizes
+            trials *within* a cell): pool workers are daemonic and
+            cannot fork their own pools, so combining the two raises
+            instead of crashing mid-scenario.  Prefer ``jobs`` when the
+            grid has enough cells to fill the machine.  Results are
+            bitwise-equal to the serial loop.
+
+        Returns
+        -------
+        dict
+            ``cell key -> SweepOutcome`` in cell order.
+        """
+        from repro.experiments.sweeps import run_method_sweep
+
+        jobs = resolve_jobs(jobs)
+        if jobs and jobs > 1 and resolve_processes(processes):
+            raise ValueError(
+                "jobs= (parallel scenario cells) cannot be combined with "
+                "the per-cell trial pool (processes=/REPRO_MC_PROCESSES): "
+                "forked pool workers are daemonic and cannot spawn their "
+                "own pools; pick one parallelism axis"
+            )
+        cells = list(cells)
+        plans = self.plan_cells(cells)
+
+        def execute(index):
+            cell = cells[index]
+            request = cell.request
+            return run_method_sweep(
+                self.zoo,
+                sigma=request.sigma,
+                technology=request.technology,
+                read_time=request.read_time,
+                nwc_targets=request.nwc_targets,
+                mc_runs=cell.mc_runs,
+                rng=cell.rng,
+                eval_samples=self.eval_samples,
+                sense_samples=self.sense_samples,
+                methods=request.methods,
+                device_bits=request.device_bits,
+                curvature_batches=request.curvature_batches,
+                batched=batched,
+                processes=processes,
+                orders=plans[cell.key].orders,
+                **cell.sweep_kwargs,
+            )
+
+        outcomes = None
+        if jobs and jobs > 1 and len(cells) > 1:
+            if "fork" not in multiprocessing.get_all_start_methods():
+                warnings.warn(
+                    "parallel scenario cells need the fork start method; "
+                    "falling back to the serial cell loop",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            else:
+                global _FORK_CELL
+                _FORK_CELL = execute
+                try:
+                    ctx = multiprocessing.get_context("fork")
+                    with ctx.Pool(min(jobs, len(cells))) as pool:
+                        outcomes = pool.map(
+                            _fork_cell, range(len(cells)), chunksize=1
+                        )
+                finally:
+                    _FORK_CELL = None
+        if outcomes is None:
+            outcomes = [execute(i) for i in range(len(cells))]
+        return {cell.key: outcome for cell, outcome in zip(cells, outcomes)}

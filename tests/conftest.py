@@ -2,10 +2,34 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.utils.rng import RngStream
+
+
+@pytest.fixture(scope="session", autouse=True)
+def hermetic_cache_dir(tmp_path_factory):
+    """Point every on-disk cache at a session-scoped temporary directory.
+
+    Covers the model-zoo artifact cache *and* the selection-plan cache
+    (both resolve through ``REPRO_CACHE_DIR``), so CI and local runs
+    never read stale artifacts from — or leak artifacts into — the
+    user's ``~/.cache/repro``.  Session-scoped: the first test (or
+    runner subprocess, which inherits the environment) trains and
+    caches the smoke models once, and the rest of the session reuses
+    them.
+    """
+    path = tmp_path_factory.mktemp("repro-cache")
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(path)
+    yield path
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 
 
 @pytest.fixture

@@ -1,0 +1,154 @@
+"""Wear-derived variance inflation: the endurance axis closes.
+
+The ROADMAP item: ``variance_map(wear_inflation=)`` was a manual knob;
+these tests pin the derived path — the endurance model's
+sigma-growth-vs-cycling curve turns the observer's consumed fraction
+into the inflation automatically, with the manual knob kept as an
+override.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.cim import (
+    CimAccelerator,
+    DeviceTechnology,
+    EnduranceModel,
+    MappingConfig,
+    get_technology,
+    resolve_technology,
+)
+from repro.utils.rng import RngStream
+
+
+class TestSigmaGrowthCurve:
+    def test_fresh_devices_are_exactly_one(self):
+        model = EnduranceModel(endurance_cycles=1e6, sigma_growth=0.8)
+        assert model.wear_inflation(0.0) == 1.0
+        assert EnduranceModel(sigma_growth=0.0).wear_inflation(0.7) == 1.0
+
+    def test_monotone_in_consumed_fraction(self):
+        model = EnduranceModel(endurance_cycles=1e6, sigma_growth=1.0,
+                               growth_exponent=0.7)
+        fractions = np.linspace(0.0, 1.0, 11)
+        inflations = [model.wear_inflation(f) for f in fractions]
+        assert np.all(np.diff(inflations) > 0)
+        # Variance (not sigma) multiplier: full consumption at growth 1
+        # doubles sigma, so the variance inflates 4x.
+        assert EnduranceModel(sigma_growth=1.0).wear_inflation(1.0) == 4.0
+
+    def test_clamped_beyond_the_budget(self):
+        model = EnduranceModel(sigma_growth=0.5)
+        assert model.wear_inflation(3.0) == model.wear_inflation(1.0)
+        assert model.wear_inflation(-1.0) == 1.0
+
+    def test_consumed_fraction(self):
+        model = EnduranceModel(endurance_cycles=1e4)
+        assert model.consumed_fraction(100) == pytest.approx(0.01)
+        assert model.consumed_fraction(1e9) == 1.0
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            EnduranceModel(sigma_growth=-0.1)
+        with pytest.raises(ValueError):
+            EnduranceModel(growth_exponent=0.0)
+
+    def test_technology_carries_the_curve(self):
+        rram = get_technology("rram").endurance_model()
+        assert rram.sigma_growth == 1.0
+        assert rram.growth_exponent == 0.7
+        mram = get_technology("mram").endurance_model()
+        assert mram.wear_inflation(1.0) == 1.0  # effectively ageless
+
+    def test_registry_round_trip_keeps_wear_fields(self):
+        tech = replace(get_technology("fefet"), name="fefet-test",
+                       wear_sigma_growth=0.33, wear_growth_exponent=1.4)
+        clone = DeviceTechnology.from_dict(tech.to_dict())
+        assert clone == tech
+        assert clone.endurance_model().sigma_growth == 0.33
+
+
+class TestDerivedVarianceMap:
+    @pytest.fixture()
+    def setup(self):
+        tech = resolve_technology("rram")
+        mapping = MappingConfig(weight_bits=4, device=tech.device_config())
+        return tech, mapping, tech.build_stack()
+
+    def test_summary_reports_consumed_fraction(self, setup):
+        tech, mapping, stack = setup
+        levels = np.tile(np.arange(16.0), (1, 4)).reshape(1, 8, 8)
+        from repro.cim import StageContext, WriteVerifyConfig, write_verify
+
+        ctx = StageContext.from_mapping(mapping)
+        rng = RngStream(7)
+        programmed = stack.program(levels, ctx, rng.child("p").generator)
+        result = write_verify(
+            levels[0], programmed[0], mapping.device, WriteVerifyConfig(),
+            rng.child("v").generator,
+        )
+        stack.reset_observers()
+        stack.observe("w", result.cycles[None])
+        summary = stack.wear_summary()
+        assert summary["consumed_fraction"] == pytest.approx(
+            tech.endurance_model().consumed_fraction(
+                summary["mean_pulses_per_device"]
+            )
+        )
+        assert 0.0 < summary["consumed_fraction"] < 1.0
+
+    def test_wear_summary_drives_inflation(self, setup):
+        """variance_map(wear=summary) equals the manual equivalent."""
+        tech, mapping, stack = setup
+        summary = {"consumed_fraction": 0.25, "deployments": 2}
+        derived = tech.endurance_model().wear_inflation(0.5)
+        assert derived > 1.0
+        via_wear = stack.variance_map(mapping, shape=(6, 5), wear=summary)
+        via_knob = stack.variance_map(
+            mapping, shape=(6, 5), wear_inflation=derived
+        )
+        assert np.array_equal(via_wear, via_knob)
+        fresh = stack.variance_map(mapping, shape=(6, 5))
+        assert np.all(via_wear > fresh)
+
+    def test_bare_fraction_and_manual_override(self, setup):
+        tech, mapping, stack = setup
+        endurance = tech.endurance_model()
+        assert stack.resolve_wear_inflation(wear=0.5) == pytest.approx(
+            endurance.wear_inflation(0.5)
+        )
+        # The manual knob wins over any wear evidence.
+        assert stack.resolve_wear_inflation(
+            wear=0.5, wear_inflation=1.75
+        ) == 1.75
+        # Fresh when there is nothing to derive from.
+        assert stack.resolve_wear_inflation(wear=None) == 1.0
+
+    def test_no_observer_means_fresh(self, setup):
+        from repro.cim import NonidealityStack, ProgrammingNoiseStage
+
+        _, mapping, _ = setup
+        bare = NonidealityStack(stages=(ProgrammingNoiseStage(),))
+        assert bare.resolve_wear_inflation(wear=0.9) == 1.0
+
+    def test_accelerator_feeds_its_own_wear(self, trained_lenet):
+        """``variance_map(wear=True)`` inflates with the observed wear."""
+        model, _, _ = trained_lenet
+        accelerator = CimAccelerator(model, technology="rram")
+        stream = RngStream(41).child("wear")
+        accelerator.program(stream.child("program").generator)
+        accelerator.write_verify_all(stream.child("verify").generator)
+        fresh = accelerator.variance_map()
+        worn = accelerator.variance_map(wear=True)
+        summary = accelerator.wear_summary()
+        expected = resolve_technology("rram").endurance_model().wear_inflation(
+            summary["consumed_fraction"]
+        )
+        assert expected > 1.0
+        for name in fresh:
+            assert np.allclose(worn[name], fresh[name] * expected)
+        accelerator.clear()
