@@ -30,7 +30,6 @@ everywhere, which is what the seeded equivalence tests compare against.
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import warnings
 
@@ -40,6 +39,9 @@ from repro.core.metrics import evaluate_accuracy_trials
 from repro.core.selection import cumulative_groups
 from repro.core.swim import SwimConfig, SwimResult
 from repro.core.swim import sweep_nwc as sweep_nwc_scalar
+from repro.robustness.errors import CellExecutionError, ScenarioConfigError
+from repro.robustness.faults import active_schedule
+from repro.robustness.supervisor import has_fork, run_with_retry, supervised_map
 from repro.utils.stats import running_mean_converged
 
 __all__ = ["MonteCarloEngine", "resolve_processes"]
@@ -51,22 +53,18 @@ __all__ = ["MonteCarloEngine", "resolve_processes"]
 #: the cache (measured ~2x slower at 4096 than at 512 on default LeNet).
 DEFAULT_MAX_FOLD = 512
 
-# Fork-inherited payload for the process-pool fallback: set immediately
-# before the pool is created so workers receive it through fork without
-# pickling (models carry closures that do not pickle).
-_FORK_TASK = None
-
-
-def _fork_trial(index):
-    return _FORK_TASK(index)
-
-
 def resolve_processes(processes=None):
     """Resolve a worker count: explicit arg, else ``REPRO_MC_PROCESSES``."""
     if processes is None:
-        processes = int(os.environ.get("REPRO_MC_PROCESSES", "0")) or None
+        raw = os.environ.get("REPRO_MC_PROCESSES", "0").strip()
+        try:
+            processes = int(raw or "0") or None
+        except ValueError as exc:
+            raise ScenarioConfigError(
+                f"REPRO_MC_PROCESSES must be an integer, got {raw!r}"
+            ) from exc
     if processes is not None and processes < 1:
-        raise ValueError("processes must be >= 1")
+        raise ScenarioConfigError("processes must be >= 1")
     return processes
 
 
@@ -131,12 +129,25 @@ class MonteCarloEngine:
     def map_trials(self, trial_fn):
         """Run ``trial_fn(index) -> value`` for every trial.
 
-        Uses the process pool when ``processes`` is set and the platform
-        supports ``fork`` (the payload crosses via fork, not pickling);
-        otherwise a plain loop.  Results keep trial order.
+        Uses a *supervised* process pool when ``processes`` is set and
+        the platform supports ``fork`` (the payload crosses via fork,
+        not pickling): a worker that crashes or raises a retryable
+        error is retried (``REPRO_CELL_RETRIES``), then re-run serially
+        in the parent; only a trial that fails even there raises — as a
+        :class:`~repro.robustness.errors.CellExecutionError` naming the
+        first casualty.  Otherwise a plain loop with the same retry
+        policy.  Results keep trial order, and retries are sound
+        because every trial draws from its own named substream.
         """
+        if active_schedule() is not None:
+            inner_fn = trial_fn
+
+            def trial_fn(index):
+                active_schedule().fire("trial", index)
+                return inner_fn(index)
+
         if self.processes and self.processes > 1:
-            if "fork" not in multiprocessing.get_all_start_methods():
+            if not has_fork():
                 warnings.warn(
                     "process-pool Monte Carlo needs the fork start method; "
                     "falling back to the in-process scalar loop",
@@ -144,18 +155,27 @@ class MonteCarloEngine:
                     stacklevel=2,
                 )
             else:
-                global _FORK_TASK
-                _FORK_TASK = trial_fn
-                try:
-                    ctx = multiprocessing.get_context("fork")
-                    chunk = max(1, self.n_trials // (self.processes * 4))
-                    with ctx.Pool(self.processes) as pool:
-                        return pool.map(
-                            _fork_trial, range(self.n_trials), chunksize=chunk
-                        )
-                finally:
-                    _FORK_TASK = None
-        return [trial_fn(i) for i in range(self.n_trials)]
+                # Trials share the cell's wall-clock budget rather than
+                # carrying per-trial deadlines, so no timeout here.
+                supervised = supervised_map(
+                    trial_fn,
+                    range(self.n_trials),
+                    workers=self.processes,
+                    timeout=None,
+                )
+                failed = supervised.failed
+                if failed:
+                    first = supervised.reports[failed[0]]
+                    raise CellExecutionError(
+                        f"{len(failed)} of {self.n_trials} Monte Carlo "
+                        f"trials failed permanently (first: trial "
+                        f"{failed[0]}: {first.error})"
+                    )
+                return [supervised.values[i] for i in range(self.n_trials)]
+        return [
+            run_with_retry(lambda i=i: trial_fn(i))[0]
+            for i in range(self.n_trials)
+        ]
 
     def run(self, run_fn, label="", check_convergence=True, convergence_tol=0.02):
         """Scalar-compatible harness: ``run_fn(stream) -> float`` per trial.

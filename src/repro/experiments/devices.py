@@ -40,7 +40,8 @@ class DevicesResult:
 def run_devices(scale, technologies=None, nwc_targets=DEFAULT_NWC_TARGETS,
                 methods=DEVICES_METHODS, workload="lenet-digits", seed=11,
                 use_cache=True, batched=True, processes=None, jobs=None,
-                plan_cache=None, plans_out=None):
+                plan_cache=None, plans_out=None, resume=None,
+                report_out=None):
     """Run the accuracy-vs-NWC sweep for every registered technology.
 
     Parameters
@@ -67,6 +68,10 @@ def run_devices(scale, technologies=None, nwc_targets=DEFAULT_NWC_TARGETS,
     plans_out:
         Optional dict filled with the resolved ``technology ->
         SelectionPlan`` mapping (for ``--save-plans``).
+    resume / report_out:
+        Skip checkpointed cells (or ``REPRO_RESUME``), and an optional
+        list collecting the orchestrator's :class:`~repro.robustness.
+        report.RunReport`.
 
     Returns
     -------
@@ -107,10 +112,12 @@ def run_devices(scale, technologies=None, nwc_targets=DEFAULT_NWC_TARGETS,
     ]
     result.outcomes.update(
         orchestrator.run(cells, batched=batched, processes=processes,
-                         jobs=jobs)
+                         jobs=jobs, resume=resume, scenario="devices")
     )
     if plans_out is not None:
         plans_out.update(orchestrator.plans)
+    if report_out is not None:
+        report_out.append(orchestrator.report)
     return result
 
 

@@ -55,7 +55,7 @@ def run_retention(scale, technologies=RETENTION_TECHNOLOGIES, times=None,
                   nwc_targets=DEFAULT_NWC_TARGETS, methods=RETENTION_METHODS,
                   workload="lenet-digits", seed=13, use_cache=True,
                   batched=True, processes=None, jobs=None, plan_cache=None,
-                  plans_out=None):
+                  plans_out=None, resume=None, report_out=None):
     """Run the Table-1-over-time drift study.
 
     Parameters
@@ -78,6 +78,10 @@ def run_retention(scale, technologies=RETENTION_TECHNOLOGIES, times=None,
     plan_cache / plans_out:
         Planner cache override, and an optional dict collecting the
         resolved ``(technology, time) -> SelectionPlan`` mapping.
+    resume / report_out:
+        Skip checkpointed cells (or ``REPRO_RESUME``), and an optional
+        list collecting the orchestrator's :class:`~repro.robustness.
+        report.RunReport`.
 
     Returns
     -------
@@ -128,10 +132,12 @@ def run_retention(scale, technologies=RETENTION_TECHNOLOGIES, times=None,
     )
     result.outcomes.update(
         orchestrator.run(cells, batched=batched, processes=processes,
-                         jobs=jobs)
+                         jobs=jobs, resume=resume, scenario="retention")
     )
     if plans_out is not None:
         plans_out.update(orchestrator.plans)
+    if report_out is not None:
+        report_out.append(orchestrator.report)
     return result
 
 

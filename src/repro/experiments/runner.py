@@ -39,6 +39,7 @@ from repro.experiments.reporting import (
 from repro.experiments.retention import render_retention, run_retention
 from repro.experiments.spatial import render_spatial, run_spatial
 from repro.experiments.table1 import render_table1, run_table1
+from repro.robustness import PartialGridError, ReproError
 from repro.utils.rng import RngStream
 
 EXPERIMENTS = ("fig1", "table1", "fig2a", "fig2b", "fig2c", "ablations",
@@ -66,11 +67,21 @@ def _save_plans(plans, out_dir, name):
     print(f"[saved {path}]")
 
 
+def _report_back(reports):
+    """Print a scenario's robustness summary when anything happened."""
+    report = reports[-1] if reports else None
+    if report is not None and report.eventful:
+        print(report.render())
+    return report
+
+
 def _run_table1(scale, out_dir, batched=True, processes=None, jobs=None,
-                save_plans=False):
+                save_plans=False, resume=None):
     plans = {} if save_plans else None
+    reports = []
     result = run_table1(scale, batched=batched, processes=processes,
-                        jobs=jobs, plans_out=plans)
+                        jobs=jobs, plans_out=plans, resume=resume,
+                        report_out=reports)
     print(render_table1(result))
     for sigma, outcome in result.outcomes.items():
         path = save_sweep_csv(
@@ -79,6 +90,7 @@ def _run_table1(scale, out_dir, batched=True, processes=None, jobs=None,
         print(f"[saved {path}]")
     if plans is not None:
         _save_plans(plans, out_dir, "table1")
+    return _report_back(reports)
 
 
 def _run_fig2(scale, out_dir, panel, batched=True, processes=None):
@@ -89,39 +101,48 @@ def _run_fig2(scale, out_dir, panel, batched=True, processes=None):
 
 
 def _run_devices(scale, out_dir, batched=True, processes=None, jobs=None,
-                 save_plans=False):
+                 save_plans=False, resume=None):
     plans = {} if save_plans else None
+    reports = []
     result = run_devices(scale, batched=batched, processes=processes,
-                         jobs=jobs, plans_out=plans)
+                         jobs=jobs, plans_out=plans, resume=resume,
+                         report_out=reports)
     print(render_devices(result))
     path = save_devices_csv(result, os.path.join(out_dir, "devices.csv"))
     print(f"[saved {path}]")
     if plans is not None:
         _save_plans(plans, out_dir, "devices")
+    return _report_back(reports)
 
 
 def _run_retention(scale, out_dir, batched=True, processes=None, jobs=None,
-                   save_plans=False):
+                   save_plans=False, resume=None):
     plans = {} if save_plans else None
+    reports = []
     result = run_retention(scale, batched=batched, processes=processes,
-                           jobs=jobs, plans_out=plans)
+                           jobs=jobs, plans_out=plans, resume=resume,
+                           report_out=reports)
     print(render_retention(result))
     path = save_retention_csv(result, os.path.join(out_dir, "retention.csv"))
     print(f"[saved {path}]")
     if plans is not None:
         _save_plans(plans, out_dir, "retention")
+    return _report_back(reports)
 
 
 def _run_spatial(scale, out_dir, batched=True, processes=None, jobs=None,
-                 save_plans=False):
+                 save_plans=False, resume=None):
     plans = {} if save_plans else None
+    reports = []
     result = run_spatial(scale, batched=batched, processes=processes,
-                         jobs=jobs, plans_out=plans)
+                         jobs=jobs, plans_out=plans, resume=resume,
+                         report_out=reports)
     print(render_spatial(result))
     path = save_spatial_csv(result, os.path.join(out_dir, "spatial.csv"))
     print(f"[saved {path}]")
     if plans is not None:
         _save_plans(plans, out_dir, "spatial")
+    return _report_back(reports)
 
 
 def _run_ablations(scale, out_dir):
@@ -171,12 +192,19 @@ def main(argv=None):
                         help="also write each scenario's resolved "
                              "selection plans as <scenario>_plans.json "
                              "for offline reuse")
+    parser.add_argument("--resume", action="store_true",
+                        help="skip scenario cells whose checkpoints are "
+                             "already in the artifact cache (e.g. after "
+                             "a crash mid-grid; or REPRO_RESUME=1); "
+                             "resumed output is byte-identical")
     args = parser.parse_args(argv)
 
     scale = get_scale(args.scale)
     out_dir = results_dir(args.output_dir)
     todo = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
     batched = not args.scalar
+    resume = True if args.resume else None
+    reports = []
 
     print(f"# scale preset: {scale.name}")
     for name in todo:
@@ -185,29 +213,67 @@ def main(argv=None):
         if name == "fig1":
             _run_fig1(scale, out_dir, batched=batched)
         elif name == "table1":
-            _run_table1(scale, out_dir, batched=batched,
-                        processes=args.processes, jobs=args.jobs,
-                        save_plans=args.save_plans)
+            reports.append(_run_table1(
+                scale, out_dir, batched=batched,
+                processes=args.processes, jobs=args.jobs,
+                save_plans=args.save_plans, resume=resume))
         elif name.startswith("fig2"):
             _run_fig2(scale, out_dir, name[-1], batched=batched,
                       processes=args.processes)
         elif name == "devices":
-            _run_devices(scale, out_dir, batched=batched,
-                         processes=args.processes, jobs=args.jobs,
-                         save_plans=args.save_plans)
+            reports.append(_run_devices(
+                scale, out_dir, batched=batched,
+                processes=args.processes, jobs=args.jobs,
+                save_plans=args.save_plans, resume=resume))
         elif name == "retention":
-            _run_retention(scale, out_dir, batched=batched,
-                           processes=args.processes, jobs=args.jobs,
-                           save_plans=args.save_plans)
+            reports.append(_run_retention(
+                scale, out_dir, batched=batched,
+                processes=args.processes, jobs=args.jobs,
+                save_plans=args.save_plans, resume=resume))
         elif name == "spatial":
-            _run_spatial(scale, out_dir, batched=batched,
-                         processes=args.processes, jobs=args.jobs,
-                         save_plans=args.save_plans)
+            reports.append(_run_spatial(
+                scale, out_dir, batched=batched,
+                processes=args.processes, jobs=args.jobs,
+                save_plans=args.save_plans, resume=resume))
         elif name == "ablations":
             _run_ablations(scale, out_dir)
         print(f"[{name} took {time.time() - start:.1f}s]")
+
+    failed = [
+        (report.scenario, cell)
+        for report in reports if report is not None
+        for cell in report.failed
+    ]
+    if failed:
+        raise PartialGridError(
+            f"{len(failed)} cell(s) failed permanently: " + "; ".join(
+                f"{scenario} {cell.key!r} ({cell.error})"
+                for scenario, cell in failed
+            )
+        )
     return 0
 
 
+def run(argv=None):
+    """``main`` behind the exception taxonomy: one-line errors, typed codes.
+
+    Infrastructure and usage failures surface as a single ``error:``
+    line and the family's exit code (64 usage, 70 software, 74 cache
+    I/O, 75 partial/temporary) instead of a traceback — tracebacks are
+    for bugs, not for a mistyped flag or a full disk.
+    """
+    try:
+        return main(argv)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return exc.exit_code
+    except OSError as exc:
+        # Untyped filesystem trouble (unwritable REPRO_CACHE_DIR or
+        # results dir, vanished workload cache) — same family as
+        # CacheWriteError, same sysexits EX_IOERR code.
+        print(f"error: cache/results I/O failed: {exc}", file=sys.stderr)
+        return 74
+
+
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(run())

@@ -49,7 +49,7 @@ def run_spatial(scale, technology="fefet-spatial", correlation_lengths=None,
                 nwc_targets=DEFAULT_NWC_TARGETS, methods=SPATIAL_METHODS,
                 workload="lenet-digits", seed=17, use_cache=True,
                 batched=True, processes=None, jobs=None, plan_cache=None,
-                plans_out=None):
+                plans_out=None, resume=None, report_out=None):
     """Run the clustered-failure stress test across correlation lengths.
 
     Parameters
@@ -69,6 +69,10 @@ def run_spatial(scale, technology="fefet-spatial", correlation_lengths=None,
     plan_cache / plans_out:
         Planner cache override, and an optional dict collecting the
         resolved ``length -> SelectionPlan`` mapping.
+    resume / report_out:
+        Skip checkpointed cells (or ``REPRO_RESUME``), and an optional
+        list collecting the orchestrator's :class:`~repro.robustness.
+        report.RunReport`.
 
     Returns
     -------
@@ -118,10 +122,12 @@ def run_spatial(scale, technology="fefet-spatial", correlation_lengths=None,
     )
     result.outcomes.update(
         orchestrator.run(cells, batched=batched, processes=processes,
-                         jobs=jobs)
+                         jobs=jobs, resume=resume, scenario="spatial")
     )
     if plans_out is not None:
         plans_out.update(orchestrator.plans)
+    if report_out is not None:
+        report_out.append(orchestrator.report)
     return result
 
 

@@ -29,6 +29,7 @@ from repro.plan.orchestrator import (
     ScenarioCell,
     ScenarioOrchestrator,
     resolve_jobs,
+    resolve_resume,
 )
 
 __all__ = [
@@ -45,5 +46,6 @@ __all__ = [
     "load_plans",
     "model_digest",
     "resolve_jobs",
+    "resolve_resume",
     "save_plans",
 ]

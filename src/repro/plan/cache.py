@@ -1,4 +1,4 @@
-"""Content-addressed artifact cache for the selection-planning subsystem.
+"""Content-addressed, self-healing artifact cache for selection planning.
 
 Every scenario grid re-derives the same expensive intermediates —
 curvature flat vectors, stack variance maps, resolved selection orders —
@@ -19,6 +19,16 @@ once per grid point.  This cache makes them first-class artifacts:
 - **versioned invalidation**: :data:`PLAN_CACHE_VERSION` is folded into
   both the key and the directory name; bumping it (because key layout or
   artifact semantics changed) orphans every older entry at once.
+- **self-healing reads**: every artifact embeds a checksum of its own
+  content.  A truncated, garbled, or checksum-mismatched file — a dead
+  writer on a non-atomic filesystem, a torn disk — is *quarantined*
+  (renamed to ``<artifact>.corrupt``) and the lookup degrades to a
+  miss, so :meth:`PlanArtifactCache.get_or_create` transparently
+  recomputes instead of crashing the run.  Quarantines are counted in
+  :meth:`~PlanArtifactCache.stats`.
+- **orphan hygiene**: writes go through ``<path>.tmp.<pid>`` + atomic
+  rename; a writer that dies in between leaves a tmp file, which init
+  sweeps once it is older than ``tmp_max_age``.
 
 Keys are derived purely from content, never from wall-clock or process
 state, so two processes planning the same grid agree byte-for-byte —
@@ -30,9 +40,14 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
+import warnings
 
 import numpy as np
 
+from repro.robustness.errors import CacheCorruptionError, CacheWriteError
+from repro.robustness.faults import active_schedule
+from repro.robustness.supervisor import run_with_retry
 from repro.utils.cache import default_cache_dir
 
 __all__ = [
@@ -46,7 +61,11 @@ __all__ = [
 #: Bump when the key layout or the artifact semantics change: every
 #: older on-disk entry becomes unreachable (it lives under the old
 #: version directory and hashes with the old version number).
-PLAN_CACHE_VERSION = 1
+#: v2: artifacts embed a content checksum (the self-healing read path).
+PLAN_CACHE_VERSION = 2
+
+#: Name of the embedded checksum entry inside each ``.npz`` artifact.
+_CHECKSUM_NAME = "__checksum__"
 
 
 def model_digest(model):
@@ -94,6 +113,18 @@ def artifact_key(kind, config, version=PLAN_CACHE_VERSION):
     return hashlib.sha256(text.encode("utf-8")).hexdigest()[:32]
 
 
+def _content_checksum(arrays):
+    """Checksum of an artifact's arrays (names, shapes, dtypes, bytes)."""
+    digest = hashlib.sha256()
+    for name in sorted(arrays):
+        data = np.ascontiguousarray(arrays[name])
+        digest.update(name.encode("utf-8"))
+        digest.update(repr(data.shape).encode("utf-8"))
+        digest.update(str(data.dtype).encode("utf-8"))
+        digest.update(data.tobytes())
+    return digest.hexdigest()
+
+
 class PlanArtifactCache:
     """Two-tier (memory, disk) store of planning artifacts.
 
@@ -113,18 +144,27 @@ class PlanArtifactCache:
         forces every hit through the filesystem.
     version:
         Key/layout version (default :data:`PLAN_CACHE_VERSION`).
+    tmp_max_age:
+        Age (seconds) past which an orphaned ``*.tmp.*`` file from a
+        dead writer is swept at init; younger tmp files may belong to a
+        live concurrent writer and are left alone.
     """
 
     def __init__(self, root=None, memory=True, disk=True,
-                 version=PLAN_CACHE_VERSION):
+                 version=PLAN_CACHE_VERSION, tmp_max_age=3600.0):
         self.version = int(version)
         self.disk = bool(disk)
         self._memory = {} if memory else None
         self.root = os.path.join(
             root or default_cache_dir(), "plan", f"v{self.version}"
         )
+        self.tmp_max_age = float(tmp_max_age)
         self.hits = {"memory": 0, "disk": 0}
         self.misses = 0
+        self.quarantined = 0
+        self.producer_retries = 0
+        if self.disk:
+            self._sweep_stale_tmp()
 
     # ------------------------------------------------------------ addressing
 
@@ -136,23 +176,80 @@ class PlanArtifactCache:
         """On-disk path of one artifact (whether or not it exists)."""
         return os.path.join(self.root, f"{kind}-{self.key(kind, config)}.npz")
 
+    # --------------------------------------------------------------- healing
+
+    def _sweep_stale_tmp(self):
+        """Remove tmp files orphaned by writers that died mid-write."""
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return  # no cache directory yet — nothing to sweep
+        cutoff = time.time() - self.tmp_max_age
+        for name in names:
+            if ".tmp." not in name:
+                continue
+            path = os.path.join(self.root, name)
+            try:
+                if os.path.getmtime(path) <= cutoff:
+                    os.unlink(path)
+            except OSError:
+                pass  # claimed by a concurrent sweeper, or vanished
+
+    def _quarantine(self, path, reason):
+        """Move a rotten artifact aside so the key reads as a miss."""
+        self.quarantined += 1
+        try:
+            os.replace(path, path + ".corrupt")
+            where = f"quarantined as {os.path.basename(path)}.corrupt"
+        except OSError:
+            where = "could not be quarantined"
+        warnings.warn(
+            f"corrupt plan cache artifact {path} ({reason}); {where}, "
+            "treating as a miss",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+    def _load_checked(self, path):
+        """Load + verify one on-disk artifact; None (and quarantine) if rotten."""
+        try:
+            with np.load(path, allow_pickle=False) as handle:
+                arrays = {name: handle[name] for name in handle.files}
+            stored = arrays.pop(_CHECKSUM_NAME, None)
+            if stored is None:
+                raise CacheCorruptionError("no embedded checksum")
+            if bytes(bytearray(stored)).decode("ascii") != _content_checksum(arrays):
+                raise CacheCorruptionError("checksum mismatch")
+        except Exception as exc:  # truncated zip, bad header, short read...
+            self._quarantine(path, f"{type(exc).__name__}: {exc}")
+            return None
+        return arrays
+
     # ---------------------------------------------------------------- access
 
     def get(self, kind, config):
-        """Load an artifact, or None on miss (memory tier first)."""
+        """Load an artifact, or None on miss (memory tier first).
+
+        A corrupted/truncated/checksum-mismatched disk entry is
+        quarantined and reported as a miss, so callers transparently
+        fall through to recomputation.
+        """
         key = self.key(kind, config)
         if self._memory is not None and key in self._memory:
             self.hits["memory"] += 1
             return self._memory[key]
         if self.disk:
             path = os.path.join(self.root, f"{kind}-{key}.npz")
+            schedule = active_schedule()
+            if schedule is not None and os.path.exists(path):
+                schedule.corrupt_file("artifact", kind, path)
             if os.path.exists(path):
-                with np.load(path, allow_pickle=False) as handle:
-                    arrays = {name: handle[name] for name in handle.files}
-                if self._memory is not None:
-                    self._memory[key] = arrays
-                self.hits["disk"] += 1
-                return arrays
+                arrays = self._load_checked(path)
+                if arrays is not None:
+                    if self._memory is not None:
+                        self._memory[key] = arrays
+                    self.hits["disk"] += 1
+                    return arrays
         self.misses += 1
         return None
 
@@ -163,14 +260,33 @@ class PlanArtifactCache:
         if self._memory is not None:
             self._memory[key] = arrays
         if self.disk:
-            os.makedirs(self.root, exist_ok=True)
             path = os.path.join(self.root, f"{kind}-{key}.npz")
             # Write-then-rename so a concurrent reader (parallel cells,
-            # parallel CI shards) never sees a half-written artifact.
+            # parallel CI shards) never sees a half-written artifact;
+            # the embedded checksum catches the remaining failure modes
+            # (torn writes on rename-less filesystems, disk rot).
             tmp = f"{path}.tmp.{os.getpid()}"
-            with open(tmp, "wb") as handle:
-                np.savez(handle, **arrays)
-            os.replace(tmp, path)
+            payload = dict(arrays)
+            payload[_CHECKSUM_NAME] = np.frombuffer(
+                _content_checksum(arrays).encode("ascii"), dtype=np.uint8
+            ).copy()
+            try:
+                os.makedirs(self.root, exist_ok=True)
+                with open(tmp, "wb") as handle:
+                    np.savez(handle, **payload)
+                os.replace(tmp, path)
+            except OSError as exc:
+                raise CacheWriteError(
+                    f"cannot write plan cache artifact under {self.root}: {exc}"
+                ) from exc
+            finally:
+                # A failed write (full disk, killed savez) must not leak
+                # its tmp file; a successful rename already consumed it.
+                if os.path.exists(tmp):
+                    try:
+                        os.unlink(tmp)
+                    except OSError:
+                        pass
         return arrays
 
     def get_or_create(self, kind, config, producer):
@@ -178,12 +294,24 @@ class PlanArtifactCache:
 
         ``producer`` is a zero-argument callable returning the
         ``name -> array`` dict; it runs only on a full (memory + disk)
-        miss.
+        miss.  A producer that raises a :class:`~repro.robustness.
+        errors.RetryableError` (a declared-transient failure) is retried
+        with the supervisor's bounded-backoff policy; retry counts show
+        up in :meth:`stats` as ``producer_retries``.
         """
         arrays = self.get(kind, config)
         if arrays is not None:
             return arrays
-        return self.put(kind, config, producer())
+
+        def produce():
+            schedule = active_schedule()
+            if schedule is not None:
+                schedule.fire("producer", kind)
+            return producer()
+
+        value, attempts = run_with_retry(produce)
+        self.producer_retries += attempts - 1
+        return self.put(kind, config, value)
 
     # -------------------------------------------------------------- plumbing
 
@@ -193,8 +321,13 @@ class PlanArtifactCache:
             self._memory.clear()
 
     def stats(self):
-        """Hit/miss counters (memory hits, disk hits, misses)."""
-        return {**self.hits, "misses": self.misses}
+        """Counters: memory/disk hits, misses, quarantines, producer retries."""
+        return {
+            **self.hits,
+            "misses": self.misses,
+            "quarantined": self.quarantined,
+            "producer_retries": self.producer_retries,
+        }
 
     def __repr__(self):
         tiers = []

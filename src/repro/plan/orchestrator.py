@@ -6,8 +6,34 @@ parameters (technology, read time, correlation length, sigma).  The
 orchestrator expresses the grid as :class:`~repro.plan.engine.
 PlanRequest`\\ s, resolves them through one :class:`~repro.plan.engine.
 PlanEngine` (so shared stages — above all the curvature pass — run
-once), and then maps the evaluation cells over a process pool
-(``jobs=N`` / ``REPRO_JOBS``).
+once), and then maps the evaluation cells over a supervised process
+pool (``jobs=N`` / ``REPRO_JOBS``).
+
+Fault tolerance
+---------------
+Cells run under :func:`~repro.robustness.supervisor.supervised_map`: a
+worker that crashes (OOM kill, segfault) or overruns its wall-clock
+budget (``REPRO_CELL_TIMEOUT``) is retried with bounded exponential
+backoff (``REPRO_CELL_RETRIES``), then re-executed serially in the
+parent, and only then declared failed.  A failed cell does not abort
+the grid — its key is simply absent from the returned outcome dict, and
+the per-cell story (ok / resumed / recovered / degraded / failed) is
+recorded in :attr:`ScenarioOrchestrator.report`, a
+:class:`~repro.robustness.report.RunReport` the CLI renders and exits
+on.
+
+Checkpoint / resume
+-------------------
+Every completed cell's :class:`~repro.experiments.sweeps.SweepOutcome`
+is persisted the moment it lands, as a content-addressed ``cell``
+artifact in the engine's :class:`~repro.plan.cache.PlanArtifactCache`
+(keyed on model + data digests, the full request physics, the cell's
+RNG seed, and the Monte Carlo envelope — everything that determines the
+result).  A rerun with ``resume=True`` (or ``REPRO_RESUME=1``) loads
+finished cells from the cache instead of re-running them; because the
+round trip is exact and every cell's randomness comes from its own
+named :class:`~repro.utils.rng.RngStream`, a resumed run's CSVs are
+byte-identical to a straight-through run's.
 
 Determinism
 -----------
@@ -15,41 +41,62 @@ Every cell derives *all* of its randomness from its own named
 :class:`~repro.utils.rng.RngStream` (the per-trial substream discipline
 of the Monte Carlo engine), and the planned orders are computed before
 any cell runs — so no mutable state is shared between cells, and the
-parallel map is bitwise-equal to the serial loop.  The pool crosses the
-model via ``fork`` (models carry closures that do not pickle), exactly
-like the Monte Carlo engine's trial pool; on platforms without fork the
+supervised map (including any retried or degraded cell) is bitwise-equal
+to the serial loop.  Workers receive the model via ``fork`` (models
+carry closures that do not pickle); on platforms without fork the
 orchestrator falls back to the serial loop with a warning.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
+import time
 import warnings
 from dataclasses import dataclass, field
 
 from repro.core.mc import resolve_processes
+from repro.plan.cache import data_digest
 from repro.plan.engine import PlanEngine, PlanRequest
+from repro.robustness.errors import CacheWriteError, ScenarioConfigError
+from repro.robustness.faults import active_schedule
+from repro.robustness.report import CellRecord, RunReport
+from repro.robustness.checkpoint import decode_outcome, encode_outcome
+from repro.robustness.supervisor import (
+    _describe,
+    has_fork,
+    run_with_retry,
+    supervised_map,
+)
 
-__all__ = ["ScenarioCell", "ScenarioOrchestrator", "resolve_jobs"]
-
-# Fork-inherited payload, mirroring the Monte Carlo engine's pool: set
-# immediately before the pool is created so workers receive it through
-# fork without pickling.
-_FORK_CELL = None
-
-
-def _fork_cell(index):
-    return _FORK_CELL(index)
+__all__ = [
+    "ScenarioCell",
+    "ScenarioOrchestrator",
+    "resolve_jobs",
+    "resolve_resume",
+]
 
 
 def resolve_jobs(jobs=None):
     """Resolve a scenario worker count: explicit arg, else ``REPRO_JOBS``."""
     if jobs is None:
-        jobs = int(os.environ.get("REPRO_JOBS", "0")) or None
+        raw = os.environ.get("REPRO_JOBS", "0").strip()
+        try:
+            jobs = int(raw or "0") or None
+        except ValueError as exc:
+            raise ScenarioConfigError(
+                f"REPRO_JOBS must be an integer, got {raw!r}"
+            ) from exc
     if jobs is not None and jobs < 1:
-        raise ValueError("jobs must be >= 1")
+        raise ScenarioConfigError("jobs must be >= 1")
     return jobs
+
+
+def resolve_resume(resume=None):
+    """Resolve the resume flag: explicit arg, else ``REPRO_RESUME``."""
+    if resume is None:
+        raw = os.environ.get("REPRO_RESUME", "").strip().lower()
+        resume = raw in ("1", "true", "yes", "on")
+    return bool(resume)
 
 
 @dataclass
@@ -109,6 +156,10 @@ class ScenarioOrchestrator:
     plans:
         ``cell key -> SelectionPlan`` of the most recent :meth:`run`
         (or :meth:`plan_cells`) — the offline-reusable artifact.
+    report:
+        :class:`~repro.robustness.report.RunReport` of the most recent
+        :meth:`run` — one record per cell plus the cache's self-healing
+        counters.
     """
 
     def __init__(self, zoo, eval_samples=400, sense_samples=512, cache=None,
@@ -127,6 +178,13 @@ class ScenarioOrchestrator:
             )
         self.engine = engine
         self.plans = {}
+        self.report = RunReport()
+        self._eval_digest = None
+
+    @property
+    def cache(self):
+        """The engine's artifact cache (checkpoints live here too)."""
+        return self.engine.cache
 
     def plan_cells(self, cells):
         """Resolve every cell's plan (shared stages run once).
@@ -142,7 +200,58 @@ class ScenarioOrchestrator:
         }
         return self.plans
 
-    def run(self, cells, batched=True, processes=None, jobs=None):
+    # ----------------------------------------------------------- checkpoints
+
+    def _cell_config(self, cell, batched):
+        """Content address of one cell's outcome: everything that
+        determines the result, nothing that does not.
+
+        Model and data enter as digests, the request as its canonical
+        physics dict (technology instances through their ``to_dict``
+        form), randomness as the cell's root stream seed.  Neither
+        ``jobs`` nor timeouts/retries appear — supervision must not
+        change what a cell computes, only whether it completes.
+        """
+        request = cell.request
+        technology = request.technology
+        if technology is not None:
+            from repro.cim import resolve_technology
+
+            technology = resolve_technology(technology).to_dict()
+        if self._eval_digest is None:
+            data = self.zoo.data
+            self._eval_digest = data_digest(data.test_x, data.test_y)
+        return {
+            "model": self.engine._model_digest,
+            "sense": self.engine._sense_digest,
+            "eval": self._eval_digest,
+            "workload": self.zoo.spec.key,
+            "request": {
+                "methods": list(request.methods),
+                "nwc_targets": [float(t) for t in request.nwc_targets],
+                "technology": technology,
+                "sigma": request.sigma,
+                "read_time": request.read_time,
+                "weight_bits": int(request.weight_bits),
+                "device_bits": int(request.device_bits),
+                "curvature_batches": int(request.curvature_batches),
+                "wear_inflation": float(request.wear_inflation),
+                "wear_consumed": request.wear_consumed,
+            },
+            "rng_seed": int(cell.rng.seed),
+            "mc_runs": int(cell.mc_runs),
+            "sweep_kwargs": {
+                key: cell.sweep_kwargs[key] for key in sorted(cell.sweep_kwargs)
+            },
+            "eval_samples": self.eval_samples,
+            "sense_samples": self.sense_samples,
+            "batched": bool(batched),
+        }
+
+    # -------------------------------------------------------------- execution
+
+    def run(self, cells, batched=True, processes=None, jobs=None,
+            resume=None, timeout=None, retries=None, scenario=""):
         """Execute every cell's Monte Carlo sweep with planned orders.
 
         Parameters
@@ -153,33 +262,67 @@ class ScenarioOrchestrator:
             Monte Carlo path selection inside each cell, as in
             :func:`~repro.experiments.sweeps.run_method_sweep`.
         jobs:
-            Fan the *cells* across N forked workers (or ``REPRO_JOBS``).
-            Mutually exclusive with ``processes`` (which parallelizes
-            trials *within* a cell): pool workers are daemonic and
-            cannot fork their own pools, so combining the two raises
-            instead of crashing mid-scenario.  Prefer ``jobs`` when the
-            grid has enough cells to fill the machine.  Results are
-            bitwise-equal to the serial loop.
+            Fan the *cells* across N supervised forked workers (or
+            ``REPRO_JOBS``).  Mutually exclusive with ``processes``
+            (which parallelizes trials *within* a cell): pool workers
+            are daemonic and cannot fork their own pools, so combining
+            the two raises instead of crashing mid-scenario.  Prefer
+            ``jobs`` when the grid has enough cells to fill the
+            machine.  Results are bitwise-equal to the serial loop.
+        resume:
+            Load already-checkpointed cells from the artifact cache
+            instead of re-running them (default: ``REPRO_RESUME``).
+            Checkpoints are *written* unconditionally whenever the
+            cache has a disk tier.
+        timeout / retries:
+            Supervision overrides forwarded to :func:`~repro.
+            robustness.supervisor.supervised_map` (default:
+            ``REPRO_CELL_TIMEOUT`` / ``REPRO_CELL_RETRIES``).
+        scenario:
+            Label stored on :attr:`report`.
 
         Returns
         -------
         dict
-            ``cell key -> SweepOutcome`` in cell order.
+            ``cell key -> SweepOutcome`` in cell order.  Permanently
+            failed cells are absent; consult :attr:`report` (or its
+            :attr:`~repro.robustness.report.RunReport.failed` list)
+            before treating the grid as complete.
         """
         from repro.experiments.sweeps import run_method_sweep
 
         jobs = resolve_jobs(jobs)
         if jobs and jobs > 1 and resolve_processes(processes):
-            raise ValueError(
+            raise ScenarioConfigError(
                 "jobs= (parallel scenario cells) cannot be combined with "
                 "the per-cell trial pool (processes=/REPRO_MC_PROCESSES): "
                 "forked pool workers are daemonic and cannot spawn their "
                 "own pools; pick one parallelism axis"
             )
+        resume = resolve_resume(resume)
         cells = list(cells)
         plans = self.plan_cells(cells)
+        report = RunReport(scenario=scenario)
+        self.report = report
+        schedule = active_schedule()
+
+        configs = [self._cell_config(cell, batched) for cell in cells]
+        outcomes = {}  # index -> SweepOutcome
+        records = {}  # index -> CellRecord
+        todo = []
+        for index, cell in enumerate(cells):
+            arrays = self.cache.get("cell", configs[index]) if resume else None
+            if arrays is not None:
+                outcomes[index] = decode_outcome(arrays)
+                records[index] = CellRecord(
+                    key=cell.key, status="resumed", attempts=0
+                )
+            else:
+                todo.append(index)
 
         def execute(index):
+            if schedule is not None:
+                schedule.fire("cell", index)
             cell = cells[index]
             request = cell.request
             return run_method_sweep(
@@ -201,26 +344,87 @@ class ScenarioOrchestrator:
                 **cell.sweep_kwargs,
             )
 
-        outcomes = None
-        if jobs and jobs > 1 and len(cells) > 1:
-            if "fork" not in multiprocessing.get_all_start_methods():
+        def persist(index, outcome):
+            # A checkpoint that cannot be written must not take the
+            # result (minutes of Monte Carlo work) down with it.
+            try:
+                self.cache.put("cell", configs[index], encode_outcome(outcome))
+            except CacheWriteError as exc:
+                report.checkpoint_errors += 1
                 warnings.warn(
-                    "parallel scenario cells need the fork start method; "
-                    "falling back to the serial cell loop",
+                    f"could not checkpoint cell {cells[index].key!r}: {exc}",
                     RuntimeWarning,
                     stacklevel=2,
                 )
-            else:
-                global _FORK_CELL
-                _FORK_CELL = execute
+
+        parallel = jobs and jobs > 1 and len(todo) > 1
+        if parallel and not has_fork():
+            warnings.warn(
+                "parallel scenario cells need the fork start method; "
+                "falling back to the serial cell loop",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            parallel = False
+        if parallel:
+            supervised = supervised_map(
+                execute,
+                todo,
+                workers=min(jobs, len(todo)),
+                timeout=timeout,
+                retries=retries,
+                labels={index: repr(cells[index].key) for index in todo},
+                on_result=persist,
+            )
+            for index in todo:
+                task = supervised.reports[index]
+                records[index] = CellRecord(
+                    key=cells[index].key,
+                    status=task.status,
+                    attempts=task.attempts,
+                    duration=task.duration,
+                    error=task.error,
+                    failures=list(task.failures),
+                )
+                if index in supervised.values:
+                    outcomes[index] = supervised.values[index]
+        else:
+            for index in todo:
+                failures = []
+                started = time.monotonic()
                 try:
-                    ctx = multiprocessing.get_context("fork")
-                    with ctx.Pool(min(jobs, len(cells))) as pool:
-                        outcomes = pool.map(
-                            _fork_cell, range(len(cells)), chunksize=1
-                        )
-                finally:
-                    _FORK_CELL = None
-        if outcomes is None:
-            outcomes = [execute(i) for i in range(len(cells))]
-        return {cell.key: outcome for cell, outcome in zip(cells, outcomes)}
+                    value, attempts = run_with_retry(
+                        lambda index=index: execute(index),
+                        retries=retries,
+                        failures=failures,
+                    )
+                except ScenarioConfigError:
+                    raise  # a usage error poisons every cell — surface it
+                except Exception as exc:
+                    records[index] = CellRecord(
+                        key=cells[index].key,
+                        status="failed",
+                        attempts=len(failures),
+                        duration=time.monotonic() - started,
+                        error=_describe(exc),
+                        failures=failures,
+                    )
+                else:
+                    outcomes[index] = value
+                    records[index] = CellRecord(
+                        key=cells[index].key,
+                        status="ok" if attempts == 1 else "recovered",
+                        attempts=attempts,
+                        duration=time.monotonic() - started,
+                        failures=failures,
+                    )
+                    persist(index, value)
+
+        for index in range(len(cells)):
+            report.add(records[index])
+        report.cache = self.cache.stats()
+        return {
+            cells[index].key: outcomes[index]
+            for index in range(len(cells))
+            if index in outcomes
+        }

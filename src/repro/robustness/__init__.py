@@ -1,0 +1,85 @@
+"""Fault tolerance for scenario execution: the reliability substrate.
+
+Long multi-configuration simulation campaigns fail for infrastructure
+reasons — a truncated cache artifact, an OOM-killed fork worker, a hung
+cell — far more often than for physics reasons.  This package makes
+those failures survivable and *testable*:
+
+- :mod:`~repro.robustness.errors` — a retryable-vs-fatal exception
+  taxonomy with per-family CLI exit codes;
+- :mod:`~repro.robustness.supervisor` — :func:`supervised_map`, the
+  crash/timeout/retry-aware replacement for ``Pool.map`` used by both
+  the scenario orchestrator and the Monte Carlo trial pool;
+- :mod:`~repro.robustness.checkpoint` — sweep-outcome serialization so
+  completed grid cells persist as content-addressed artifacts and
+  resumed runs skip them byte-identically;
+- :mod:`~repro.robustness.report` — structured run reports (what ran,
+  what recovered, what failed) behind the CLI summary and exit codes;
+- :mod:`~repro.robustness.faults` — the deterministic fault-injection
+  harness (``REPRO_FAULTS``) that drives all of the above in tests, CI
+  chaos runs, and benchmarks.
+"""
+
+from repro.robustness.checkpoint import decode_outcome, encode_outcome
+from repro.robustness.errors import (
+    CacheCorruptionError,
+    CacheWriteError,
+    CellExecutionError,
+    CellTimeoutError,
+    FatalError,
+    PartialGridError,
+    ReproError,
+    RetryableError,
+    ScenarioConfigError,
+    TransientFaultError,
+    WorkerCrashError,
+    is_retryable,
+)
+from repro.robustness.faults import (
+    FaultEntry,
+    FaultSchedule,
+    active_schedule,
+    parse_faults,
+)
+from repro.robustness.report import CellRecord, RunReport
+from repro.robustness.supervisor import (
+    SupervisedResult,
+    TaskReport,
+    has_fork,
+    resolve_backoff,
+    resolve_retries,
+    resolve_timeout,
+    run_with_retry,
+    supervised_map,
+)
+
+__all__ = [
+    "CacheCorruptionError",
+    "CacheWriteError",
+    "CellExecutionError",
+    "CellRecord",
+    "CellTimeoutError",
+    "FatalError",
+    "FaultEntry",
+    "FaultSchedule",
+    "PartialGridError",
+    "ReproError",
+    "RetryableError",
+    "RunReport",
+    "ScenarioConfigError",
+    "SupervisedResult",
+    "TaskReport",
+    "TransientFaultError",
+    "WorkerCrashError",
+    "active_schedule",
+    "decode_outcome",
+    "encode_outcome",
+    "has_fork",
+    "is_retryable",
+    "parse_faults",
+    "resolve_backoff",
+    "resolve_retries",
+    "resolve_timeout",
+    "run_with_retry",
+    "supervised_map",
+]

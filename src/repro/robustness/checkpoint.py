@@ -1,0 +1,85 @@
+"""Checkpoint serialization: sweep outcomes as cache artifacts.
+
+A scenario grid's unit of loss is one :class:`~repro.experiments.
+sweeps.SweepOutcome` — minutes of Monte Carlo work at real scales.
+These helpers round-trip an outcome through the ``name -> array`` dict
+shape the :class:`~repro.plan.cache.PlanArtifactCache` stores, so the
+orchestrator can persist each cell the moment it completes and a
+resumed run can skip it.
+
+The round trip is *exact*: accuracy/NWC arrays are stored as the
+float64 they were computed in, and scalar metadata rides in a canonical
+JSON blob (Python's ``json`` emits shortest-round-trip float literals),
+so a CSV rendered from resumed cells is byte-identical to one rendered
+from a straight-through run — the property the resume tests pin.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+__all__ = ["decode_outcome", "encode_outcome"]
+
+
+def _plain(value):
+    """Recursively strip numpy scalar types for canonical JSON."""
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value
+
+
+def encode_outcome(outcome):
+    """A :class:`SweepOutcome` as a cacheable ``name -> array`` dict."""
+    meta = _plain({
+        "workload": outcome.workload,
+        "sigma": outcome.sigma,
+        "clean_accuracy": outcome.clean_accuracy,
+        "nwc_targets": list(outcome.nwc_targets),
+        "technology": outcome.technology,
+        "read_time": outcome.read_time,
+        "wear": outcome.wear,
+        "methods": list(outcome.curves),
+    })
+    blob = json.dumps(meta, sort_keys=True).encode("utf-8")
+    arrays = {"meta": np.frombuffer(blob, dtype=np.uint8).copy()}
+    for method, curve in outcome.curves.items():
+        arrays[f"acc__{method}"] = np.asarray(curve.accuracy_runs)
+        arrays[f"nwc__{method}"] = np.asarray(curve.achieved_nwc)
+    return arrays
+
+
+def decode_outcome(arrays):
+    """Rebuild the :class:`SweepOutcome` stored by :func:`encode_outcome`.
+
+    Curves come back in their original method order (recorded in the
+    metadata), which is what keeps rendered tables and CSV row order
+    stable across resume.
+    """
+    from repro.experiments.sweeps import MethodCurve, SweepOutcome
+
+    meta = json.loads(bytes(bytearray(arrays["meta"])).decode("utf-8"))
+    outcome = SweepOutcome(
+        workload=meta["workload"],
+        sigma=meta["sigma"],
+        clean_accuracy=meta["clean_accuracy"],
+        nwc_targets=tuple(meta["nwc_targets"]),
+        technology=meta["technology"],
+        read_time=meta["read_time"],
+        wear=meta["wear"],
+    )
+    for method in meta["methods"]:
+        outcome.curves[method] = MethodCurve(
+            method=method,
+            nwc_targets=tuple(meta["nwc_targets"]),
+            accuracy_runs=np.asarray(arrays[f"acc__{method}"]),
+            achieved_nwc=np.asarray(arrays[f"nwc__{method}"]),
+        )
+    return outcome

@@ -1,0 +1,112 @@
+"""Structured run reports: what survived, what was retried, what failed.
+
+A fault-tolerant grid run no longer has a binary outcome, so "it
+printed a table" stops being evidence of health.  The orchestrator
+records one :class:`CellRecord` per grid cell — executed, recovered
+after retries, degraded to the serial fallback, resumed from a
+checkpoint, or permanently failed — plus the cache's self-healing
+counters, and the CLI renders the summary (and exits nonzero on partial
+grids) from this report rather than from log archaeology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CellRecord", "RunReport"]
+
+#: Cell statuses in severity order (render order for anomalies).
+STATUSES = ("ok", "resumed", "recovered", "degraded", "failed")
+
+
+@dataclass
+class CellRecord:
+    """Execution outcome of one scenario cell."""
+
+    key: object
+    status: str  # one of STATUSES
+    attempts: int = 1
+    duration: float = 0.0
+    error: str = None
+    failures: list = field(default_factory=list)
+
+    def to_json(self):
+        return {
+            "key": repr(self.key),
+            "status": self.status,
+            "attempts": self.attempts,
+            "duration": round(self.duration, 3),
+            "error": self.error,
+            "failures": list(self.failures),
+        }
+
+
+@dataclass
+class RunReport:
+    """One scenario run's robustness ledger."""
+
+    scenario: str = ""
+    cells: list = field(default_factory=list)
+    cache: dict = field(default_factory=dict)
+    checkpoint_errors: int = 0
+
+    def add(self, record):
+        self.cells.append(record)
+        return record
+
+    def count(self, status):
+        return sum(1 for cell in self.cells if cell.status == status)
+
+    @property
+    def failed(self):
+        """Permanently failed cells, in grid order."""
+        return [cell for cell in self.cells if cell.status == "failed"]
+
+    @property
+    def eventful(self):
+        """Whether anything beyond clean first-attempt execution happened."""
+        return (
+            any(cell.status != "ok" for cell in self.cells)
+            or self.checkpoint_errors > 0
+            or self.cache.get("quarantined", 0) > 0
+            or self.cache.get("producer_retries", 0) > 0
+        )
+
+    def to_json(self):
+        return {
+            "scenario": self.scenario,
+            "counts": {status: self.count(status) for status in STATUSES},
+            "cells": [cell.to_json() for cell in self.cells],
+            "cache": dict(self.cache),
+            "checkpoint_errors": self.checkpoint_errors,
+        }
+
+    def render(self):
+        """Human summary: one counts line, one line per anomalous cell."""
+        counts = " ".join(
+            f"{status}={self.count(status)}" for status in STATUSES
+        )
+        cache = ""
+        if self.cache:
+            cache = (
+                f" | cache: quarantined={self.cache.get('quarantined', 0)}"
+                f" producer_retries={self.cache.get('producer_retries', 0)}"
+            )
+        checkpoint = (
+            f" checkpoint_errors={self.checkpoint_errors}"
+            if self.checkpoint_errors else ""
+        )
+        lines = [
+            f"[robustness] {self.scenario or 'run'}: cells={len(self.cells)} "
+            f"{counts}{cache}{checkpoint}"
+        ]
+        for cell in self.cells:
+            if cell.status == "ok":
+                continue
+            detail = f"  cell {cell.key!r}: {cell.status}"
+            if cell.attempts > 1:
+                detail += f" after {cell.attempts} attempts"
+            if cell.failures:
+                detail += f" ({'; '.join(cell.failures)})"
+            lines.append(detail)
+        return "\n".join(lines)
