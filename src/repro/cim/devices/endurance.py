@@ -237,4 +237,14 @@ class EnduranceObserver:
             "max_pulses_per_device": worst,
             "deployments_to_failure": self.model.endurance_cycles / max(worst, 1),
             "consumed_fraction": self.model.consumed_fraction(mean_pulses),
+            # Raw integer aggregates: what the derived statistics are
+            # computed from.  Summaries over disjoint trial subsets
+            # (work-rectangle tiles) merge exactly through these —
+            # sum devices/verify_cycles, max max_verify_cycles — and
+            # re-derive the floats above bit for bit
+            # (:func:`repro.robustness.checkpoint.merge_wear`).
+            "devices": devices,
+            "verify_cycles": total_cycles,
+            "max_verify_cycles": worst_cycles,
+            "initial_writes": int(initial_writes),
         }

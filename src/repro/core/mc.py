@@ -30,7 +30,8 @@ everywhere, which is what the seeded equivalence tests compare against.
 
 from __future__ import annotations
 
-import os
+import contextlib
+import multiprocessing
 import warnings
 
 import numpy as np
@@ -39,12 +40,18 @@ from repro.core.metrics import evaluate_accuracy_trials
 from repro.core.selection import cumulative_groups
 from repro.core.swim import SwimConfig, SwimResult
 from repro.core.swim import sweep_nwc as sweep_nwc_scalar
-from repro.robustness.errors import CellExecutionError, ScenarioConfigError
+from repro.robustness.errors import CellExecutionError
 from repro.robustness.faults import active_schedule
+from repro.robustness.scheduler import resolve_worker_count
 from repro.robustness.supervisor import has_fork, run_with_retry, supervised_map
 from repro.utils.stats import running_mean_converged
 
-__all__ = ["MonteCarloEngine", "resolve_processes"]
+__all__ = [
+    "MonteCarloEngine",
+    "default_trial_block",
+    "no_trial_pool",
+    "resolve_processes",
+]
 
 #: Largest folded batch (n_trials_in_block * eval_batch_size) the engine
 #: feeds through the network at once.  Small folds win: the per-trial
@@ -53,19 +60,53 @@ __all__ = ["MonteCarloEngine", "resolve_processes"]
 #: the cache (measured ~2x slower at 4096 than at 512 on default LeNet).
 DEFAULT_MAX_FOLD = 512
 
+#: When False, ``resolve_processes`` ignores both its argument and
+#: ``REPRO_MC_PROCESSES`` — see :func:`no_trial_pool`.
+_TRIAL_POOL_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_trial_pool():
+    """Disable the trial-pool knob inside the ``with`` body.
+
+    The work-rectangle scheduler owns trial parallelism: a scenario
+    tile *is* a trial block already placed on a worker, so an engine
+    built inside one must not read ``processes=``/``REPRO_MC_PROCESSES``
+    and try to fork a nested pool.  Disabling is bitwise-safe — the
+    pool changes where trials run, never what they compute.
+    """
+    global _TRIAL_POOL_ENABLED
+    previous = _TRIAL_POOL_ENABLED
+    _TRIAL_POOL_ENABLED = False
+    try:
+        yield
+    finally:
+        _TRIAL_POOL_ENABLED = previous
+
+
 def resolve_processes(processes=None):
-    """Resolve a worker count: explicit arg, else ``REPRO_MC_PROCESSES``."""
-    if processes is None:
-        raw = os.environ.get("REPRO_MC_PROCESSES", "0").strip()
-        try:
-            processes = int(raw or "0") or None
-        except ValueError as exc:
-            raise ScenarioConfigError(
-                f"REPRO_MC_PROCESSES must be an integer, got {raw!r}"
-            ) from exc
-    if processes is not None and processes < 1:
-        raise ScenarioConfigError("processes must be >= 1")
-    return processes
+    """Resolve the trial-pool worker count: arg, else ``REPRO_MC_PROCESSES``.
+
+    ``0`` (from either source) means "auto-size to the core count";
+    unset/empty means no pool.  Inside :func:`no_trial_pool` always
+    resolves to ``None``.
+    """
+    if not _TRIAL_POOL_ENABLED:
+        return None
+    return resolve_worker_count(processes, "REPRO_MC_PROCESSES", "processes")
+
+
+def default_trial_block(eval_batch_size=256, trial_block=None):
+    """The engine's natural trial-block width for a given eval batch.
+
+    This is the granularity at which the batched pipelines draw their
+    shared verify RNG (one stream per block, keyed on the block's first
+    trial) — and therefore the alignment grain the work-rectangle
+    scheduler must respect when splitting a cell's trials into tiles.
+    """
+    if trial_block is not None:
+        return max(1, int(trial_block))
+    return max(1, DEFAULT_MAX_FOLD // max(1, int(eval_batch_size)))
 
 
 class MonteCarloEngine:
@@ -91,10 +132,20 @@ class MonteCarloEngine:
         Trials batched per block.  Defaults to a memory-bounded guess
         from the evaluation batch size (``DEFAULT_MAX_FOLD`` folded
         samples).
+    trial_range:
+        Optional ``(start, stop)`` half-open window: the engine runs
+        only trials ``start..stop-1`` of the ``n_trials`` protocol,
+        with *absolute* trial indices (substreams, block RNG keys), so
+        a set of windows covering ``[0, n_trials)`` reproduces the full
+        run's per-trial values bit for bit.  For the batched pipelines
+        ``start`` must sit on a block boundary (see :meth:`block_size`):
+        the shared verify stream is keyed per block, so only
+        block-aligned windows see the draws of the unsplit run.  This
+        is the work-rectangle scheduler's tile contract.
     """
 
     def __init__(self, n_trials, rng, batched=True, processes=None,
-                 trial_block=None):
+                 trial_block=None, trial_range=None):
         if n_trials < 1:
             raise ValueError("n_trials must be >= 1")
         self.n_trials = int(n_trials)
@@ -102,6 +153,19 @@ class MonteCarloEngine:
         self.batched = bool(batched)
         self.processes = resolve_processes(processes)
         self.trial_block = trial_block
+        if trial_range is not None:
+            start, stop = int(trial_range[0]), int(trial_range[1])
+            if not 0 <= start < stop <= self.n_trials:
+                raise ValueError(
+                    f"trial_range {trial_range!r} outside [0, {self.n_trials}]"
+                )
+            trial_range = (start, stop)
+        self.trial_range = trial_range
+
+    @property
+    def span(self):
+        """The ``(start, stop)`` trial window this engine actually runs."""
+        return self.trial_range or (0, self.n_trials)
 
     # ------------------------------------------------------------- streams
 
@@ -110,35 +174,49 @@ class MonteCarloEngine:
         return self.rng.child("mc", index)
 
     def substreams(self, indices=None):
-        """Per-trial streams for ``indices`` (default: all trials)."""
+        """Per-trial streams for ``indices`` (default: the trial window)."""
         if indices is None:
-            indices = range(self.n_trials)
+            indices = range(*self.span)
         return [self.substream(int(i)) for i in indices]
 
+    def block_size(self, eval_batch_size=256):
+        """Trials per block (see :func:`default_trial_block`)."""
+        return default_trial_block(eval_batch_size, self.trial_block)
+
     def blocks(self, eval_batch_size=256):
-        """Yield trial-index arrays sized to bound folded-batch memory."""
-        if self.trial_block is not None:
-            block = max(1, int(self.trial_block))
-        else:
-            block = max(1, DEFAULT_MAX_FOLD // max(1, int(eval_batch_size)))
-        for start in range(0, self.n_trials, block):
-            yield np.arange(start, min(start + block, self.n_trials))
+        """Yield trial-index arrays sized to bound folded-batch memory.
+
+        Blocks always start at multiples of :meth:`block_size` counted
+        from trial 0 — also under a ``trial_range`` window — so every
+        window sees the same block starts (and the same per-block
+        verify RNG keys) as the full run.
+        """
+        block = self.block_size(eval_batch_size)
+        start, stop = self.span
+        for base in range((start // block) * block, stop, block):
+            lo, hi = max(base, start), min(base + block, stop)
+            if lo < hi:
+                yield np.arange(lo, hi)
 
     # ------------------------------------------------------- generic driver
 
     def map_trials(self, trial_fn):
-        """Run ``trial_fn(index) -> value`` for every trial.
+        """Run ``trial_fn(index) -> value`` for every trial in the window.
 
-        Uses a *supervised* process pool when ``processes`` is set and
-        the platform supports ``fork`` (the payload crosses via fork,
-        not pickling): a worker that crashes or raises a retryable
-        error is retried (``REPRO_CELL_RETRIES``), then re-run serially
-        in the parent; only a trial that fails even there raises — as a
+        With ``processes`` set, a thin shim over trial-block scheduling:
+        contiguous blocks of trials (the :meth:`block_size` grain) are
+        mapped over a *supervised* fork pool
+        (:func:`~repro.robustness.supervisor.supervised_map` — the same
+        supervision path the work-rectangle scheduler uses), so a
+        worker that crashes or raises a retryable error re-runs its
+        whole block; a block that fails permanently raises a
         :class:`~repro.robustness.errors.CellExecutionError` naming the
-        first casualty.  Otherwise a plain loop with the same retry
-        policy.  Results keep trial order, and retries are sound
-        because every trial draws from its own named substream.
+        first casualty.  Inside a daemonic pool worker (which cannot
+        fork) or on fork-less platforms the same trials run in-process
+        instead — bitwise-identical either way, because every trial
+        draws from its own named substream.  Results keep trial order.
         """
+        start, stop = self.span
         if active_schedule() is not None:
             inner_fn = trial_fn
 
@@ -146,8 +224,15 @@ class MonteCarloEngine:
                 active_schedule().fire("trial", index)
                 return inner_fn(index)
 
-        if self.processes and self.processes > 1:
-            if not has_fork():
+        if self.processes and self.processes > 1 and stop - start > 1:
+            if multiprocessing.current_process().daemon:
+                warnings.warn(
+                    "trial pool requested inside a daemonic worker; "
+                    "running the trial loop in-process",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            elif not has_fork():
                 warnings.warn(
                     "process-pool Monte Carlo needs the fork start method; "
                     "falling back to the in-process scalar loop",
@@ -155,26 +240,39 @@ class MonteCarloEngine:
                     stacklevel=2,
                 )
             else:
-                # Trials share the cell's wall-clock budget rather than
-                # carrying per-trial deadlines, so no timeout here.
+                block = self.block_size()
+                starts = list(range(start, stop, block))
+
+                def run_block(base):
+                    return [
+                        trial_fn(i)
+                        for i in range(base, min(base + block, stop))
+                    ]
+
+                # Blocks share the cell's wall-clock budget rather than
+                # carrying per-block deadlines, so no timeout here.
                 supervised = supervised_map(
-                    trial_fn,
-                    range(self.n_trials),
-                    workers=self.processes,
+                    run_block,
+                    starts,
+                    workers=min(self.processes, len(starts)),
                     timeout=None,
                 )
                 failed = supervised.failed
                 if failed:
                     first = supervised.reports[failed[0]]
                     raise CellExecutionError(
-                        f"{len(failed)} of {self.n_trials} Monte Carlo "
-                        f"trials failed permanently (first: trial "
-                        f"{failed[0]}: {first.error})"
+                        f"{len(failed)} of {len(starts)} Monte Carlo "
+                        f"trial blocks failed permanently (first: trials "
+                        f"[{failed[0]}, {min(failed[0] + block, stop)}): "
+                        f"{first.error})"
                     )
-                return [supervised.values[i] for i in range(self.n_trials)]
+                values = []
+                for base in starts:
+                    values.extend(supervised.values[base])
+                return values
         return [
             run_with_retry(lambda i=i: trial_fn(i))[0]
-            for i in range(self.n_trials)
+            for i in range(start, stop)
         ]
 
     def run(self, run_fn, label="", check_convergence=True, convergence_tol=0.02):
@@ -224,7 +322,9 @@ class MonteCarloEngine:
         -------
         tuple
             ``(accuracies, achieved_nwc)`` arrays of shape
-            ``(n_trials, len(nwc_targets))``.
+            ``(n_trials, len(nwc_targets))``; under a ``trial_range``
+            window only the window's rows are written (absolute trial
+            indexing), the rest are unspecified.
         """
         if order is None:
             if scorer is None:
@@ -254,7 +354,9 @@ class MonteCarloEngine:
                     eval_batch_size=eval_batch_size, read_time=read_time,
                 )
 
-            for i, (acc, nwc) in enumerate(self.map_trials(scalar_trial)):
+            for i, (acc, nwc) in zip(
+                range(*self.span), self.map_trials(scalar_trial)
+            ):
                 accuracies[i] = acc
                 achieved[i] = nwc
             accelerator.clear()

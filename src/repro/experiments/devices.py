@@ -40,7 +40,7 @@ class DevicesResult:
 def run_devices(scale, technologies=None, nwc_targets=DEFAULT_NWC_TARGETS,
                 methods=DEVICES_METHODS, workload="lenet-digits", seed=11,
                 use_cache=True, batched=True, processes=None, jobs=None,
-                plan_cache=None, plans_out=None, resume=None,
+                workers=None, plan_cache=None, plans_out=None, resume=None,
                 report_out=None):
     """Run the accuracy-vs-NWC sweep for every registered technology.
 
@@ -56,12 +56,14 @@ def run_devices(scale, technologies=None, nwc_targets=DEFAULT_NWC_TARGETS,
         ``read_time=None`` where they are statistically identical to
         their base technology; ``runner retention`` is where they
         differ).
-    batched / processes:
+    batched:
         Same Monte Carlo path selection as the paper sweeps; per-trial
         draws are identical in every mode.
-    jobs:
-        Fan the per-technology cells across N forked workers (or
-        ``REPRO_JOBS``); results are bitwise-equal to serial.
+    workers / jobs / processes:
+        Size the work-rectangle fork pool over the scenario's
+        (cells x trial-blocks) tiles (``workers`` or ``REPRO_WORKERS``;
+        the deprecated ``jobs``/``processes`` pair combines into it);
+        results are bitwise-equal to serial.
     plan_cache:
         Optional :class:`~repro.plan.PlanArtifactCache` for the
         selection planner (default: the shared on-disk cache).
@@ -112,7 +114,8 @@ def run_devices(scale, technologies=None, nwc_targets=DEFAULT_NWC_TARGETS,
     ]
     result.outcomes.update(
         orchestrator.run(cells, batched=batched, processes=processes,
-                         jobs=jobs, resume=resume, scenario="devices")
+                         jobs=jobs, workers=workers, resume=resume,
+                         scenario="devices")
     )
     if plans_out is not None:
         plans_out.update(orchestrator.plans)

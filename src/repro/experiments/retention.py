@@ -54,7 +54,8 @@ class RetentionResult:
 def run_retention(scale, technologies=RETENTION_TECHNOLOGIES, times=None,
                   nwc_targets=DEFAULT_NWC_TARGETS, methods=RETENTION_METHODS,
                   workload="lenet-digits", seed=13, use_cache=True,
-                  batched=True, processes=None, jobs=None, plan_cache=None,
+                  batched=True, processes=None, jobs=None, workers=None,
+                  plan_cache=None,
                   plans_out=None, resume=None, report_out=None):
     """Run the Table-1-over-time drift study.
 
@@ -132,7 +133,8 @@ def run_retention(scale, technologies=RETENTION_TECHNOLOGIES, times=None,
     )
     result.outcomes.update(
         orchestrator.run(cells, batched=batched, processes=processes,
-                         jobs=jobs, resume=resume, scenario="retention")
+                         jobs=jobs, workers=workers, resume=resume,
+                         scenario="retention")
     )
     if plans_out is not None:
         plans_out.update(orchestrator.plans)

@@ -76,12 +76,12 @@ def _report_back(reports):
 
 
 def _run_table1(scale, out_dir, batched=True, processes=None, jobs=None,
-                save_plans=False, resume=None):
+                workers=None, save_plans=False, resume=None):
     plans = {} if save_plans else None
     reports = []
     result = run_table1(scale, batched=batched, processes=processes,
-                        jobs=jobs, plans_out=plans, resume=resume,
-                        report_out=reports)
+                        jobs=jobs, workers=workers, plans_out=plans,
+                        resume=resume, report_out=reports)
     print(render_table1(result))
     for sigma, outcome in result.outcomes.items():
         path = save_sweep_csv(
@@ -101,12 +101,12 @@ def _run_fig2(scale, out_dir, panel, batched=True, processes=None):
 
 
 def _run_devices(scale, out_dir, batched=True, processes=None, jobs=None,
-                 save_plans=False, resume=None):
+                 workers=None, save_plans=False, resume=None):
     plans = {} if save_plans else None
     reports = []
     result = run_devices(scale, batched=batched, processes=processes,
-                         jobs=jobs, plans_out=plans, resume=resume,
-                         report_out=reports)
+                         jobs=jobs, workers=workers, plans_out=plans,
+                         resume=resume, report_out=reports)
     print(render_devices(result))
     path = save_devices_csv(result, os.path.join(out_dir, "devices.csv"))
     print(f"[saved {path}]")
@@ -116,12 +116,12 @@ def _run_devices(scale, out_dir, batched=True, processes=None, jobs=None,
 
 
 def _run_retention(scale, out_dir, batched=True, processes=None, jobs=None,
-                   save_plans=False, resume=None):
+                   workers=None, save_plans=False, resume=None):
     plans = {} if save_plans else None
     reports = []
     result = run_retention(scale, batched=batched, processes=processes,
-                           jobs=jobs, plans_out=plans, resume=resume,
-                           report_out=reports)
+                           jobs=jobs, workers=workers, plans_out=plans,
+                           resume=resume, report_out=reports)
     print(render_retention(result))
     path = save_retention_csv(result, os.path.join(out_dir, "retention.csv"))
     print(f"[saved {path}]")
@@ -131,12 +131,12 @@ def _run_retention(scale, out_dir, batched=True, processes=None, jobs=None,
 
 
 def _run_spatial(scale, out_dir, batched=True, processes=None, jobs=None,
-                 save_plans=False, resume=None):
+                 workers=None, save_plans=False, resume=None):
     plans = {} if save_plans else None
     reports = []
     result = run_spatial(scale, batched=batched, processes=processes,
-                         jobs=jobs, plans_out=plans, resume=resume,
-                         report_out=reports)
+                         jobs=jobs, workers=workers, plans_out=plans,
+                         resume=resume, report_out=reports)
     print(render_spatial(result))
     path = save_spatial_csv(result, os.path.join(out_dir, "spatial.csv"))
     print(f"[saved {path}]")
@@ -179,15 +179,21 @@ def main(argv=None):
     parser.add_argument("--scalar", action="store_true",
                         help="use the scalar per-trial Monte Carlo loop "
                              "instead of the trial-batched engine")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="size the work-rectangle scheduler's fork "
+                             "pool over a scenario's (cells x trial-"
+                             "blocks) tiles; 0 = auto-size to the "
+                             "detected core count; bitwise-identical to "
+                             "serial (or REPRO_WORKERS)")
     parser.add_argument("--processes", type=int, default=None,
-                        help="fan the scalar Monte Carlo loop across N "
-                             "forked workers (for workloads too large to "
-                             "batch in memory; or REPRO_MC_PROCESSES)")
+                        help="deprecated alias (REPRO_MC_PROCESSES): "
+                             "combines with --jobs into the --workers "
+                             "rectangle pool; still the trial-pool size "
+                             "for fig2's scalar loop")
     parser.add_argument("--jobs", type=int, default=None,
-                        help="fan a scenario's grid cells (table1 sigmas, "
-                             "devices technologies, retention/spatial "
-                             "points) across N forked workers; bitwise-"
-                             "identical to serial (or REPRO_JOBS)")
+                        help="deprecated alias (REPRO_JOBS): combines "
+                             "with --processes into the --workers "
+                             "rectangle pool")
     parser.add_argument("--save-plans", action="store_true",
                         help="also write each scenario's resolved "
                              "selection plans as <scenario>_plans.json "
@@ -205,6 +211,9 @@ def main(argv=None):
     batched = not args.scalar
     resume = True if args.resume else None
     reports = []
+    if args.jobs is not None or args.processes is not None:
+        print("note: --jobs/--processes are deprecated; they now combine "
+              "into one --workers pool over the work rectangle")
 
     print(f"# scale preset: {scale.name}")
     for name in todo:
@@ -216,6 +225,7 @@ def main(argv=None):
             reports.append(_run_table1(
                 scale, out_dir, batched=batched,
                 processes=args.processes, jobs=args.jobs,
+                workers=args.workers,
                 save_plans=args.save_plans, resume=resume))
         elif name.startswith("fig2"):
             _run_fig2(scale, out_dir, name[-1], batched=batched,
@@ -224,16 +234,19 @@ def main(argv=None):
             reports.append(_run_devices(
                 scale, out_dir, batched=batched,
                 processes=args.processes, jobs=args.jobs,
+                workers=args.workers,
                 save_plans=args.save_plans, resume=resume))
         elif name == "retention":
             reports.append(_run_retention(
                 scale, out_dir, batched=batched,
                 processes=args.processes, jobs=args.jobs,
+                workers=args.workers,
                 save_plans=args.save_plans, resume=resume))
         elif name == "spatial":
             reports.append(_run_spatial(
                 scale, out_dir, batched=batched,
                 processes=args.processes, jobs=args.jobs,
+                workers=args.workers,
                 save_plans=args.save_plans, resume=resume))
         elif name == "ablations":
             _run_ablations(scale, out_dir)

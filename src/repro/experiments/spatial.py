@@ -48,7 +48,8 @@ class SpatialResult:
 def run_spatial(scale, technology="fefet-spatial", correlation_lengths=None,
                 nwc_targets=DEFAULT_NWC_TARGETS, methods=SPATIAL_METHODS,
                 workload="lenet-digits", seed=17, use_cache=True,
-                batched=True, processes=None, jobs=None, plan_cache=None,
+                batched=True, processes=None, jobs=None, workers=None,
+                plan_cache=None,
                 plans_out=None, resume=None, report_out=None):
     """Run the clustered-failure stress test across correlation lengths.
 
@@ -122,7 +123,8 @@ def run_spatial(scale, technology="fefet-spatial", correlation_lengths=None,
     )
     result.outcomes.update(
         orchestrator.run(cells, batched=batched, processes=processes,
-                         jobs=jobs, resume=resume, scenario="spatial")
+                         jobs=jobs, workers=workers, resume=resume,
+                         scenario="spatial")
     )
     if plans_out is not None:
         plans_out.update(orchestrator.plans)

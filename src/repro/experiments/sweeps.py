@@ -265,6 +265,7 @@ def run_method_sweep(
     batched=True,
     processes=None,
     trial_block=None,
+    trial_range=None,
     technology=None,
     read_time=None,
     orders=None,
@@ -309,6 +310,18 @@ def run_method_sweep(
         workers) for workloads too large to batch in memory.
     trial_block:
         Trials per batched block (default: memory-bounded heuristic).
+    trial_range:
+        Optional ``(start, stop)`` window: evaluate only trials
+        ``start..stop-1`` of the ``mc_runs`` protocol, with absolute
+        per-trial substreams — the work-rectangle scheduler's tile
+        unit.  ``start`` must sit on a trial-block boundary in batched
+        mode (the shared verify stream is keyed per block).  The
+        returned curves then hold *raw per-trial rows*:
+        ``accuracy_runs`` has ``stop - start`` rows and
+        ``achieved_nwc`` is the per-trial ``(stop - start, n_targets)``
+        slice rather than the across-trial mean, so adjacent windows
+        merge exactly (:func:`repro.robustness.checkpoint.
+        merge_outcomes`) into the full sweep's bits.
     technology:
         Registered :class:`~repro.cim.DeviceTechnology` name (or
         instance): derives the device config and the full nonideality
@@ -396,8 +409,18 @@ def run_method_sweep(
     counts = [int(round(t * space.total_size)) for t in nwc_targets]
     engine = MonteCarloEngine(
         mc_runs, rng, batched=batched, processes=processes,
-        trial_block=trial_block,
+        trial_block=trial_block, trial_range=trial_range,
     )
+    if trial_range is not None and batched and not engine.processes:
+        block = engine.block_size()
+        start, stop = engine.span
+        if start % block or (stop % block and stop != mc_runs):
+            raise ValueError(
+                f"trial_range {trial_range!r} must align to the "
+                f"{block}-trial block grid for the batched path: the "
+                "shared verify stream is keyed per block, so a "
+                "misaligned window would not reproduce the full run"
+            )
 
     if batched and not engine.processes:
         _batched_sweep(
@@ -413,7 +436,7 @@ def run_method_sweep(
                 read_time=read_time,
             )
         )
-        for run, rows in enumerate(rows_per_trial):
+        for run, rows in zip(range(*engine.span), rows_per_trial):
             for method, (accuracies, achieved) in rows.items():
                 acc_store[method][run] = accuracies
                 nwc_store[method][run] = achieved
@@ -429,11 +452,21 @@ def run_method_sweep(
         read_time=read_time,
         wear=wear,
     )
+    start, stop = engine.span
     for method in methods:
+        if trial_range is None:
+            accuracy_runs = acc_store[method]
+            achieved_nwc = nwc_store[method].mean(axis=0)
+        else:
+            # Tile mode: return the window's raw rows (no mean) so the
+            # scheduler can vstack adjacent tiles and reproduce the
+            # full-run reduction bit for bit.
+            accuracy_runs = acc_store[method][start:stop].copy()
+            achieved_nwc = nwc_store[method][start:stop].copy()
         outcome.curves[method] = MethodCurve(
             method=method,
             nwc_targets=tuple(nwc_targets),
-            accuracy_runs=acc_store[method],
-            achieved_nwc=nwc_store[method].mean(axis=0),
+            accuracy_runs=accuracy_runs,
+            achieved_nwc=achieved_nwc,
         )
     return outcome

@@ -40,19 +40,19 @@ class Table1Result:
 def run_table1(scale, sigmas=TABLE1_SIGMAS, nwc_targets=DEFAULT_NWC_TARGETS,
                methods=("swim", "magnitude", "random", "insitu"),
                seed=1, use_cache=True, batched=True, processes=None,
-               jobs=None, plan_cache=None, plans_out=None, resume=None,
-               report_out=None):
+               jobs=None, workers=None, plan_cache=None, plans_out=None,
+               resume=None, report_out=None):
     """Run the Table 1 experiment at a given scale preset.
 
-    ``batched`` selects the trial-batched Monte Carlo engine (default);
-    ``processes`` opts into the scalar process-pool fallback instead.
-    ``jobs`` fans the per-sigma cells across forked workers (results
-    bitwise-equal to serial); the deterministic selections themselves
-    are planned once for all sigmas — the curvature ranking does not
-    depend on the device noise level.  ``resume`` skips checkpointed
-    cells (or ``REPRO_RESUME``); ``report_out`` (a list, when given)
-    collects the orchestrator's :class:`~repro.robustness.report.
-    RunReport`.
+    ``batched`` selects the trial-batched Monte Carlo engine (default).
+    ``workers`` sizes the work-rectangle scheduler's fork pool over the
+    (cells x trial-blocks) tiles (``jobs``/``processes`` are deprecated
+    aliases that combine into it; results bitwise-equal to serial); the
+    deterministic selections themselves are planned once for all sigmas
+    — the curvature ranking does not depend on the device noise level.
+    ``resume`` skips checkpointed cells (or ``REPRO_RESUME``);
+    ``report_out`` (a list, when given) collects the orchestrator's
+    :class:`~repro.robustness.report.RunReport`.
 
     Returns
     -------
@@ -86,7 +86,8 @@ def run_table1(scale, sigmas=TABLE1_SIGMAS, nwc_targets=DEFAULT_NWC_TARGETS,
     )
     result.outcomes.update(
         orchestrator.run(cells, batched=batched, processes=processes,
-                         jobs=jobs, resume=resume, scenario="table1")
+                         jobs=jobs, workers=workers, resume=resume,
+                         scenario="table1")
     )
     if plans_out is not None:
         plans_out.update(orchestrator.plans)

@@ -5,9 +5,12 @@ experiment drivers (:mod:`repro.experiments`): scenario grids are
 expressed as batched :class:`PlanRequest`\\ s, resolved by a
 :class:`PlanEngine` whose pure stages (curvature, variance maps,
 selection orders) live in a content-addressed
-:class:`PlanArtifactCache`, and executed as independent Monte Carlo
-cells by a :class:`ScenarioOrchestrator` — serially or across a fork
-pool (``--jobs N``) with bitwise-identical results.
+:class:`PlanArtifactCache`, and executed by a
+:class:`ScenarioOrchestrator` as a (cells x trial-blocks) work
+rectangle on one supervised fork pool (``--workers N``; the deprecated
+``--jobs``/``--processes`` pair combines into it) — serially or
+parallel with bitwise-identical results, with every evaluation tile
+cached content-addressed so warm reruns recompute only what changed.
 """
 
 from repro.plan.cache import (

@@ -1,4 +1,4 @@
-"""Scenario orchestration: plan a grid once, evaluate its cells in parallel.
+"""Scenario orchestration: plan a grid once, schedule its work rectangle.
 
 A scenario (devices / retention / spatial / table1) is a grid of
 independent Monte Carlo evaluation cells that differ only in physics
@@ -6,45 +6,54 @@ parameters (technology, read time, correlation length, sigma).  The
 orchestrator expresses the grid as :class:`~repro.plan.engine.
 PlanRequest`\\ s, resolves them through one :class:`~repro.plan.engine.
 PlanEngine` (so shared stages — above all the curvature pass — run
-once), and then maps the evaluation cells over a supervised process
-pool (``jobs=N`` / ``REPRO_JOBS``).
+once), and then executes the grid as a **work rectangle** (cells x
+trial blocks; :mod:`repro.robustness.scheduler`): every cell's trial
+axis splits into block-aligned tiles, and the flat tile list is packed
+onto one supervised fork pool sized by ``workers=`` / ``--workers`` /
+``REPRO_WORKERS`` (``0`` = auto-size to the core count).  The
+deprecated ``jobs``/``processes`` pair still works — combined into
+``jobs * processes`` workers instead of the old exit-64 conflict.
 
 Fault tolerance
 ---------------
-Cells run under :func:`~repro.robustness.supervisor.supervised_map`: a
-worker that crashes (OOM kill, segfault) or overruns its wall-clock
-budget (``REPRO_CELL_TIMEOUT``) is retried with bounded exponential
-backoff (``REPRO_CELL_RETRIES``), then re-executed serially in the
-parent, and only then declared failed.  A failed cell does not abort
-the grid — its key is simply absent from the returned outcome dict, and
-the per-cell story (ok / resumed / recovered / degraded / failed) is
-recorded in :attr:`ScenarioOrchestrator.report`, a
-:class:`~repro.robustness.report.RunReport` the CLI renders and exits
-on.
+Tiles run under :func:`~repro.robustness.supervisor.supervised_map`
+(the single supervision path): a worker that crashes (OOM kill,
+segfault) or overruns its wall-clock budget (``REPRO_CELL_TIMEOUT``)
+is retried with bounded exponential backoff (``REPRO_CELL_RETRIES``),
+then re-executed serially in the parent, and only then declared failed.
+A failed tile fails its cell but not the grid — the cell's key is
+simply absent from the returned outcome dict (its surviving tiles stay
+cached for the next attempt), and the per-cell story (ok / cached /
+resumed / recovered / degraded / failed) is recorded in
+:attr:`ScenarioOrchestrator.report`, a :class:`~repro.robustness.
+report.RunReport` the CLI renders and exits on.
 
-Checkpoint / resume
--------------------
-Every completed cell's :class:`~repro.experiments.sweeps.SweepOutcome`
-is persisted the moment it lands, as a content-addressed ``cell``
-artifact in the engine's :class:`~repro.plan.cache.PlanArtifactCache`
-(keyed on model + data digests, the full request physics, the cell's
-RNG seed, and the Monte Carlo envelope — everything that determines the
-result).  A rerun with ``resume=True`` (or ``REPRO_RESUME=1``) loads
-finished cells from the cache instead of re-running them; because the
-round trip is exact and every cell's randomness comes from its own
-named :class:`~repro.utils.rng.RngStream`, a resumed run's CSVs are
-byte-identical to a straight-through run's.
+Incremental evaluation / checkpoint / resume
+--------------------------------------------
+Every tile's partial outcome persists the moment it lands, as a
+content-addressed ``eval`` artifact in the engine's :class:`~repro.
+plan.cache.PlanArtifactCache` — keyed on model/sense/eval digests, the
+request physics, the cell's RNG seed, and the tile's trial window;
+never on supervision or worker-count knobs.  Every run (no flag
+needed) probes these artifacts first, so a rerun after a one-cell
+config change recomputes only that cell's tiles and is still
+byte-identical to a cold serial run; the hit/recompute counts are on
+the report (``tiles_cached`` / ``tiles_computed``).  Completed cells
+additionally checkpoint as ``cell`` artifacts the moment their last
+tile lands, which is what ``resume=True`` / ``REPRO_RESUME=1`` loads
+to skip whole cells after a mid-grid kill.
 
 Determinism
 -----------
 Every cell derives *all* of its randomness from its own named
 :class:`~repro.utils.rng.RngStream` (the per-trial substream discipline
-of the Monte Carlo engine), and the planned orders are computed before
-any cell runs — so no mutable state is shared between cells, and the
-supervised map (including any retried or degraded cell) is bitwise-equal
-to the serial loop.  Workers receive the model via ``fork`` (models
-carry closures that do not pickle); on platforms without fork the
-orchestrator falls back to the serial loop with a warning.
+of the Monte Carlo engine), planned orders are computed before any tile
+runs, and tile boundaries are worker-count independent and aligned to
+the engine's trial-block grid — so serial, ``--workers N``, retried,
+degraded, cached, and resumed runs are all bitwise-equal.  Workers
+receive the model via ``fork`` (models carry closures that do not
+pickle); on platforms without fork the tiles run serially in the
+parent with a warning.
 """
 
 from __future__ import annotations
@@ -54,14 +63,26 @@ import time
 import warnings
 from dataclasses import dataclass, field
 
-from repro.core.mc import resolve_processes
+from repro.core.mc import default_trial_block, no_trial_pool
 from repro.plan.cache import data_digest
 from repro.plan.engine import PlanEngine, PlanRequest
 from repro.robustness.errors import CacheWriteError, ScenarioConfigError
 from repro.robustness.faults import active_schedule
 from repro.robustness.report import CellRecord, RunReport
-from repro.robustness.checkpoint import decode_outcome, encode_outcome
+from repro.robustness.checkpoint import (
+    decode_outcome,
+    encode_outcome,
+    merge_outcomes,
+)
+from repro.robustness.scheduler import (
+    Tile,
+    resolve_tile_trials,
+    resolve_worker_count,
+    resolve_workers,
+    tile_ranges,
+)
 from repro.robustness.supervisor import (
+    TaskReport,
     _describe,
     has_fork,
     run_with_retry,
@@ -77,18 +98,13 @@ __all__ = [
 
 
 def resolve_jobs(jobs=None):
-    """Resolve a scenario worker count: explicit arg, else ``REPRO_JOBS``."""
-    if jobs is None:
-        raw = os.environ.get("REPRO_JOBS", "0").strip()
-        try:
-            jobs = int(raw or "0") or None
-        except ValueError as exc:
-            raise ScenarioConfigError(
-                f"REPRO_JOBS must be an integer, got {raw!r}"
-            ) from exc
-    if jobs is not None and jobs < 1:
-        raise ScenarioConfigError("jobs must be >= 1")
-    return jobs
+    """Resolve the deprecated cell-level worker knob (``REPRO_JOBS``).
+
+    ``0`` means "auto-size to the core count"; unset means serial.
+    Kept as a back-compat alias — new code should size the rectangle
+    with :func:`~repro.robustness.scheduler.resolve_workers`.
+    """
+    return resolve_worker_count(jobs, "REPRO_JOBS", "jobs")
 
 
 def resolve_resume(resume=None):
@@ -251,35 +267,47 @@ class ScenarioOrchestrator:
     # -------------------------------------------------------------- execution
 
     def run(self, cells, batched=True, processes=None, jobs=None,
-            resume=None, timeout=None, retries=None, scenario=""):
-        """Execute every cell's Monte Carlo sweep with planned orders.
+            workers=None, resume=None, timeout=None, retries=None,
+            scenario="", tile_trials=None):
+        """Schedule the grid's work rectangle and merge its tiles.
 
         Parameters
         ----------
         cells:
             :class:`ScenarioCell` grid, in output order.
-        batched / processes:
-            Monte Carlo path selection inside each cell, as in
+        batched:
+            Monte Carlo path selection inside each tile, as in
             :func:`~repro.experiments.sweeps.run_method_sweep`.
-        jobs:
-            Fan the *cells* across N supervised forked workers (or
-            ``REPRO_JOBS``).  Mutually exclusive with ``processes``
-            (which parallelizes trials *within* a cell): pool workers
-            are daemonic and cannot fork their own pools, so combining
-            the two raises instead of crashing mid-scenario.  Prefer
-            ``jobs`` when the grid has enough cells to fill the
-            machine.  Results are bitwise-equal to the serial loop.
+        workers:
+            Total worker processes for the (cells x trial-blocks)
+            rectangle (or ``REPRO_WORKERS``); ``0`` auto-sizes to the
+            detected core count.  Unset and with neither deprecated
+            knob given, tiles run serially in the parent.  Results are
+            bitwise-equal at any worker count.
+        jobs / processes:
+            Deprecated aliases (``REPRO_JOBS`` /
+            ``REPRO_MC_PROCESSES``): formerly the two conflicting
+            parallelism axes, now combined by
+            :func:`~repro.robustness.scheduler.resolve_workers` into
+            ``jobs * processes`` rectangle workers.  ``processes`` no
+            longer selects the scalar per-trial path inside cells —
+            the rectangle owns trial parallelism.
         resume:
-            Load already-checkpointed cells from the artifact cache
-            instead of re-running them (default: ``REPRO_RESUME``).
-            Checkpoints are *written* unconditionally whenever the
-            cache has a disk tier.
+            Load whole already-checkpointed cells from the artifact
+            cache (default: ``REPRO_RESUME``).  Independent of — and
+            faster than — the always-on per-tile evaluation cache:
+            resume skips even the tile probe and the merge.
         timeout / retries:
             Supervision overrides forwarded to :func:`~repro.
             robustness.supervisor.supervised_map` (default:
             ``REPRO_CELL_TIMEOUT`` / ``REPRO_CELL_RETRIES``).
         scenario:
             Label stored on :attr:`report`.
+        tile_trials:
+            Optional tile height override (or ``REPRO_TILE_TRIALS``);
+            rounded up to a whole trial block.  Default: the
+            :data:`~repro.robustness.scheduler.DEFAULT_TILES_PER_CELL`
+            heuristic.
 
         Returns
         -------
@@ -291,15 +319,11 @@ class ScenarioOrchestrator:
         """
         from repro.experiments.sweeps import run_method_sweep
 
-        jobs = resolve_jobs(jobs)
-        if jobs and jobs > 1 and resolve_processes(processes):
-            raise ScenarioConfigError(
-                "jobs= (parallel scenario cells) cannot be combined with "
-                "the per-cell trial pool (processes=/REPRO_MC_PROCESSES): "
-                "forked pool workers are daemonic and cannot spawn their "
-                "own pools; pick one parallelism axis"
-            )
+        workers = resolve_workers(
+            workers=workers, jobs=jobs, processes=processes
+        )
         resume = resolve_resume(resume)
+        tile_trials = resolve_tile_trials(tile_trials)
         cells = list(cells)
         plans = self.plan_cells(cells)
         report = RunReport(scenario=scenario)
@@ -309,44 +333,62 @@ class ScenarioOrchestrator:
         configs = [self._cell_config(cell, batched) for cell in cells]
         outcomes = {}  # index -> SweepOutcome
         records = {}  # index -> CellRecord
-        todo = []
+        pending = []  # cell indexes not resumed from a checkpoint
         for index, cell in enumerate(cells):
             arrays = self.cache.get("cell", configs[index]) if resume else None
             if arrays is not None:
                 outcomes[index] = decode_outcome(arrays)
                 records[index] = CellRecord(
-                    key=cell.key, status="resumed", attempts=0
+                    key=cell.key, status="resumed", attempts=0, tiles=0
                 )
             else:
-                todo.append(index)
+                pending.append(index)
 
-        def execute(index):
-            if schedule is not None:
-                schedule.fire("cell", index)
-            cell = cells[index]
-            request = cell.request
-            return run_method_sweep(
-                self.zoo,
-                sigma=request.sigma,
-                technology=request.technology,
-                read_time=request.read_time,
-                nwc_targets=request.nwc_targets,
-                mc_runs=cell.mc_runs,
-                rng=cell.rng,
-                eval_samples=self.eval_samples,
-                sense_samples=self.sense_samples,
-                methods=request.methods,
-                device_bits=request.device_bits,
-                curvature_batches=request.curvature_batches,
-                batched=batched,
-                processes=processes,
-                orders=plans[cell.key].orders,
-                **cell.sweep_kwargs,
+        # --- decompose pending cells into the work rectangle's tiles.
+        # Boundaries depend only on each cell's trial count and the
+        # engine block grid — never on the worker count — so tile cache
+        # keys are stable across serial and parallel invocations.
+        block = default_trial_block()
+        tiles = []  # tile id -> Tile
+        cell_tiles = {index: [] for index in pending}
+        for index in pending:
+            for start, stop in tile_ranges(
+                cells[index].mc_runs, block, tile_trials
+            ):
+                cell_tiles[index].append(len(tiles))
+                tiles.append(Tile(cell=index, start=start, stop=stop))
+        tile_configs = {
+            t: {**configs[tile.cell], "trials": [tile.start, tile.stop]}
+            for t, tile in enumerate(tiles)
+        }
+
+        # --- probe the evaluation cache: warm tiles never recompute.
+        tile_values = {}  # tile id -> partial SweepOutcome
+        cached_tiles = set()
+        todo = []
+        for t in range(len(tiles)):
+            arrays = self.cache.get("eval", tile_configs[t])
+            if arrays is not None:
+                tile_values[t] = decode_outcome(arrays)
+                cached_tiles.add(t)
+            else:
+                todo.append(t)
+        report.tiles_total = len(tiles)
+        report.tiles_cached = len(cached_tiles)
+        remaining = {
+            index: sum(1 for t in cell_tiles[index] if t not in cached_tiles)
+            for index in pending
+        }
+
+        def finish_cell(index):
+            # Every tile landed: merge them into the cell's full
+            # outcome and write the cell checkpoint (the resume fast
+            # path) the moment the cell completes — not at end of run —
+            # so a mid-grid kill leaves resumable cells behind.
+            outcome = merge_outcomes(
+                [tile_values[t] for t in cell_tiles[index]]
             )
-
-        def persist(index, outcome):
-            # A checkpoint that cannot be written must not take the
-            # result (minutes of Monte Carlo work) down with it.
+            outcomes[index] = outcome
             try:
                 self.cache.put("cell", configs[index], encode_outcome(outcome))
             except CacheWriteError as exc:
@@ -357,11 +399,81 @@ class ScenarioOrchestrator:
                     stacklevel=2,
                 )
 
-        parallel = jobs and jobs > 1 and len(todo) > 1
+        def execute(t):
+            tile = tiles[t]
+            if schedule is not None:
+                # Tiles are the unit of supervised execution, so the
+                # "cell" fault site fires here, keyed by cell index —
+                # the pre-rectangle contract REPRO_FAULTS schedules use.
+                schedule.fire("cell", tile.cell)
+            cell = cells[tile.cell]
+            request = cell.request
+            with no_trial_pool():
+                return run_method_sweep(
+                    self.zoo,
+                    sigma=request.sigma,
+                    technology=request.technology,
+                    read_time=request.read_time,
+                    nwc_targets=request.nwc_targets,
+                    mc_runs=cell.mc_runs,
+                    rng=cell.rng,
+                    eval_samples=self.eval_samples,
+                    sense_samples=self.sense_samples,
+                    methods=request.methods,
+                    device_bits=request.device_bits,
+                    curvature_batches=request.curvature_batches,
+                    batched=batched,
+                    trial_range=(tile.start, tile.stop),
+                    orders=plans[cell.key].orders,
+                    **cell.sweep_kwargs,
+                )
+
+        def persist(t, partial):
+            # An artifact that cannot be written must not take the
+            # result (minutes of Monte Carlo work) down with it.
+            tile_values[t] = partial
+            try:
+                self.cache.put("eval", tile_configs[t], encode_outcome(partial))
+            except CacheWriteError as exc:
+                report.checkpoint_errors += 1
+                warnings.warn(
+                    f"could not persist eval tile {labels[t]}: {exc}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            remaining[tiles[t].cell] -= 1
+            if remaining[tiles[t].cell] == 0:
+                finish_cell(tiles[t].cell)
+
+        def label(t):
+            tile = tiles[t]
+            key = repr(cells[tile.cell].key)
+            if len(cell_tiles[tile.cell]) == 1:
+                return key
+            return f"{key} trials[{tile.start}:{tile.stop}]"
+
+        labels = {t: label(t) for t in range(len(tiles))}
+
+        # Cells served entirely from the evaluation cache merge without
+        # scheduling anything — the warm-rerun (passless) path.
+        for index in pending:
+            if remaining[index] == 0:
+                finish_cell(index)
+                records[index] = CellRecord(
+                    key=cells[index].key,
+                    status="cached",
+                    attempts=0,
+                    tiles=len(cell_tiles[index]),
+                    tiles_cached=len(cell_tiles[index]),
+                )
+
+        # --- schedule the remaining tiles on one supervised pool.
+        tile_reports = {}
+        parallel = workers and workers > 1 and len(todo) > 1
         if parallel and not has_fork():
             warnings.warn(
-                "parallel scenario cells need the fork start method; "
-                "falling back to the serial cell loop",
+                "parallel tile scheduling needs the fork start method; "
+                "falling back to the serial tile loop",
                 RuntimeWarning,
                 stacklevel=2,
             )
@@ -370,39 +482,29 @@ class ScenarioOrchestrator:
             supervised = supervised_map(
                 execute,
                 todo,
-                workers=min(jobs, len(todo)),
+                workers=min(workers, len(todo)),
                 timeout=timeout,
                 retries=retries,
-                labels={index: repr(cells[index].key) for index in todo},
+                labels=labels,
                 on_result=persist,
             )
-            for index in todo:
-                task = supervised.reports[index]
-                records[index] = CellRecord(
-                    key=cells[index].key,
-                    status=task.status,
-                    attempts=task.attempts,
-                    duration=task.duration,
-                    error=task.error,
-                    failures=list(task.failures),
-                )
-                if index in supervised.values:
-                    outcomes[index] = supervised.values[index]
+            tile_reports = supervised.reports
         else:
-            for index in todo:
+            for t in todo:
                 failures = []
                 started = time.monotonic()
                 try:
                     value, attempts = run_with_retry(
-                        lambda index=index: execute(index),
+                        lambda t=t: execute(t),
                         retries=retries,
                         failures=failures,
                     )
                 except ScenarioConfigError:
-                    raise  # a usage error poisons every cell — surface it
+                    raise  # a usage error poisons every tile — surface it
                 except Exception as exc:
-                    records[index] = CellRecord(
-                        key=cells[index].key,
+                    tile_reports[t] = TaskReport(
+                        item=t,
+                        label=labels[t],
                         status="failed",
                         attempts=len(failures),
                         duration=time.monotonic() - started,
@@ -410,15 +512,55 @@ class ScenarioOrchestrator:
                         failures=failures,
                     )
                 else:
-                    outcomes[index] = value
-                    records[index] = CellRecord(
-                        key=cells[index].key,
+                    tile_reports[t] = TaskReport(
+                        item=t,
+                        label=labels[t],
                         status="ok" if attempts == 1 else "recovered",
                         attempts=attempts,
                         duration=time.monotonic() - started,
                         failures=failures,
                     )
-                    persist(index, value)
+                    persist(t, value)
+        report.tiles_computed = sum(1 for t in todo if t in tile_values)
+
+        # --- fold tile reports into per-cell records.
+        for index in pending:
+            if index in records:
+                continue  # all-cached, recorded above
+            own = [
+                tile_reports[t] for t in cell_tiles[index] if t in tile_reports
+            ]
+            missing = [
+                t for t in cell_tiles[index] if t not in tile_values
+            ]
+            if missing:
+                status = "failed"
+                error = next(
+                    (tile_reports[t].error for t in missing
+                     if t in tile_reports and tile_reports[t].error),
+                    "tile not executed",
+                )
+            else:
+                error = None
+                statuses = {task.status for task in own}
+                if "degraded" in statuses:
+                    status = "degraded"
+                elif "recovered" in statuses:
+                    status = "recovered"
+                else:
+                    status = "ok"
+            records[index] = CellRecord(
+                key=cells[index].key,
+                status=status,
+                attempts=max((task.attempts for task in own), default=0),
+                duration=sum(task.duration for task in own),
+                error=error,
+                failures=[f for task in own for f in task.failures],
+                tiles=len(cell_tiles[index]),
+                tiles_cached=sum(
+                    1 for t in cell_tiles[index] if t in cached_tiles
+                ),
+            )
 
         for index in range(len(cells)):
             report.add(records[index])

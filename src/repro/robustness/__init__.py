@@ -10,9 +10,15 @@ those failures survivable and *testable*:
 - :mod:`~repro.robustness.supervisor` — :func:`supervised_map`, the
   crash/timeout/retry-aware replacement for ``Pool.map`` used by both
   the scenario orchestrator and the Monte Carlo trial pool;
+- :mod:`~repro.robustness.scheduler` — the work-rectangle scheduler:
+  worker-count resolution (``--workers`` / ``REPRO_WORKERS``, with the
+  deprecated jobs x processes pair folded in) and the worker-count
+  independent (cells x trial-blocks) tile decomposition every scenario
+  run schedules onto one :func:`supervised_map` pool;
 - :mod:`~repro.robustness.checkpoint` — sweep-outcome serialization so
-  completed grid cells persist as content-addressed artifacts and
-  resumed runs skip them byte-identically;
+  completed grid cells and evaluation tiles persist as
+  content-addressed artifacts and warm or resumed runs skip them
+  byte-identically (:func:`merge_outcomes` reassembles tiles exactly);
 - :mod:`~repro.robustness.report` — structured run reports (what ran,
   what recovered, what failed) behind the CLI summary and exit codes;
 - :mod:`~repro.robustness.faults` — the deterministic fault-injection
@@ -20,7 +26,12 @@ those failures survivable and *testable*:
   chaos runs, and benchmarks.
 """
 
-from repro.robustness.checkpoint import decode_outcome, encode_outcome
+from repro.robustness.checkpoint import (
+    decode_outcome,
+    encode_outcome,
+    merge_outcomes,
+    merge_wear,
+)
 from repro.robustness.errors import (
     CacheCorruptionError,
     CacheWriteError,
@@ -42,6 +53,14 @@ from repro.robustness.faults import (
     parse_faults,
 )
 from repro.robustness.report import CellRecord, RunReport
+from repro.robustness.scheduler import (
+    Tile,
+    auto_workers,
+    resolve_tile_trials,
+    resolve_worker_count,
+    resolve_workers,
+    tile_ranges,
+)
 from repro.robustness.supervisor import (
     SupervisedResult,
     TaskReport,
@@ -69,17 +88,24 @@ __all__ = [
     "ScenarioConfigError",
     "SupervisedResult",
     "TaskReport",
+    "Tile",
     "TransientFaultError",
     "WorkerCrashError",
     "active_schedule",
+    "auto_workers",
     "decode_outcome",
     "encode_outcome",
     "has_fork",
     "is_retryable",
+    "merge_outcomes",
+    "merge_wear",
     "parse_faults",
     "resolve_backoff",
     "resolve_retries",
+    "resolve_tile_trials",
     "resolve_timeout",
+    "resolve_worker_count",
+    "resolve_workers",
     "run_with_retry",
     "supervised_map",
 ]

@@ -12,6 +12,16 @@ float64 they were computed in, and scalar metadata rides in a canonical
 JSON blob (Python's ``json`` emits shortest-round-trip float literals),
 so a CSV rendered from resumed cells is byte-identical to one rendered
 from a straight-through run — the property the resume tests pin.
+
+The same codec serializes work-rectangle *tiles* (partial outcomes
+over a ``trial_range`` window, where ``achieved_nwc`` holds raw
+per-trial rows instead of the across-trial mean): the arrays are
+row-count agnostic.  :func:`merge_outcomes` reassembles an ordered set
+of tiles into the cell's full :class:`~repro.experiments.sweeps.
+SweepOutcome` — bit for bit, because stacking contiguous row slices
+reproduces the full arrays and the reductions (the NWC mean, the wear
+statistics via :func:`merge_wear`'s integer aggregates) repeat the
+unsplit run's exact float operations.
 """
 
 from __future__ import annotations
@@ -20,7 +30,7 @@ import json
 
 import numpy as np
 
-__all__ = ["decode_outcome", "encode_outcome"]
+__all__ = ["decode_outcome", "encode_outcome", "merge_outcomes", "merge_wear"]
 
 
 def _plain(value):
@@ -81,5 +91,83 @@ def decode_outcome(arrays):
             nwc_targets=tuple(meta["nwc_targets"]),
             accuracy_runs=np.asarray(arrays[f"acc__{method}"]),
             achieved_nwc=np.asarray(arrays[f"nwc__{method}"]),
+        )
+    return outcome
+
+
+def merge_wear(summaries):
+    """Merge per-tile endurance summaries into the full-run summary.
+
+    Each tile's accelerator observes only its own trials, so its
+    summary's raw integer aggregates (``devices``, ``verify_cycles``,
+    ``max_verify_cycles`` — see :meth:`~repro.cim.devices.endurance.
+    EnduranceObserver.summary`) cover a disjoint trial subset; summing
+    (resp. maxing) them recovers the unsplit run's aggregates exactly,
+    and the derived float statistics repeat the observer's own
+    operations on those integers — so the merged dict is bitwise what a
+    serial run would have reported.
+    """
+    summaries = list(summaries)
+    if not summaries or summaries[0] is None:
+        return None
+    devices = sum(int(s["devices"]) for s in summaries)
+    verify_cycles = sum(int(s["verify_cycles"]) for s in summaries)
+    worst_cycles = max(int(s["max_verify_cycles"]) for s in summaries)
+    initial_writes = int(summaries[0]["initial_writes"])
+    endurance = summaries[0]["endurance_cycles"]
+    worst = worst_cycles + initial_writes
+    mean_pulses = verify_cycles / devices + initial_writes
+    return {
+        "endurance_cycles": endurance,
+        "total_pulses": verify_cycles + devices * initial_writes,
+        "mean_pulses_per_device": mean_pulses,
+        "max_pulses_per_device": worst,
+        "deployments_to_failure": endurance / max(worst, 1),
+        "consumed_fraction": float(np.clip(mean_pulses / endurance, 0.0, 1.0)),
+        "devices": devices,
+        "verify_cycles": verify_cycles,
+        "max_verify_cycles": worst_cycles,
+        "initial_writes": initial_writes,
+    }
+
+
+def merge_outcomes(parts):
+    """Reassemble ordered trial-window tiles into one full outcome.
+
+    ``parts`` are the partial :class:`~repro.experiments.sweeps.
+    SweepOutcome`\\ s of one cell's tiles, in trial order, jointly
+    covering ``[0, mc_runs)`` (each produced by ``run_method_sweep(...,
+    trial_range=...)``, so ``achieved_nwc`` holds raw per-trial rows).
+    Stacking the rows reproduces the unsplit run's full arrays, the
+    across-trial NWC mean is taken over the stacked array exactly as
+    the unsplit run takes it, and wear merges through integer
+    aggregates — the result is bitwise-identical to a serial,
+    untiled sweep.
+    """
+    from repro.experiments.sweeps import MethodCurve, SweepOutcome
+
+    parts = list(parts)
+    first = parts[0]
+    outcome = SweepOutcome(
+        workload=first.workload,
+        sigma=first.sigma,
+        clean_accuracy=first.clean_accuracy,
+        nwc_targets=first.nwc_targets,
+        technology=first.technology,
+        read_time=first.read_time,
+        wear=merge_wear([p.wear for p in parts]),
+    )
+    for method in first.curves:
+        accuracy_runs = np.vstack(
+            [np.atleast_2d(p.curves[method].accuracy_runs) for p in parts]
+        )
+        nwc_rows = np.vstack(
+            [np.atleast_2d(p.curves[method].achieved_nwc) for p in parts]
+        )
+        outcome.curves[method] = MethodCurve(
+            method=method,
+            nwc_targets=first.nwc_targets,
+            accuracy_runs=accuracy_runs,
+            achieved_nwc=nwc_rows.mean(axis=0),
         )
     return outcome

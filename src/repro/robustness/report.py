@@ -16,12 +16,21 @@ from dataclasses import dataclass, field
 __all__ = ["CellRecord", "RunReport"]
 
 #: Cell statuses in severity order (render order for anomalies).
-STATUSES = ("ok", "resumed", "recovered", "degraded", "failed")
+#: ``cached`` means every evaluation tile of the cell was served from
+#: the content-addressed eval cache (an incremental warm rerun);
+#: ``resumed`` means the whole cell came from a ``--resume`` checkpoint.
+STATUSES = ("ok", "cached", "resumed", "recovered", "degraded", "failed")
 
 
 @dataclass
 class CellRecord:
-    """Execution outcome of one scenario cell."""
+    """Execution outcome of one scenario cell.
+
+    ``tiles`` / ``tiles_cached`` describe the cell's work-rectangle
+    decomposition: how many trial-window tiles it spanned and how many
+    of them were served from the evaluation-artifact cache instead of
+    recomputed.
+    """
 
     key: object
     status: str  # one of STATUSES
@@ -29,6 +38,8 @@ class CellRecord:
     duration: float = 0.0
     error: str = None
     failures: list = field(default_factory=list)
+    tiles: int = 1
+    tiles_cached: int = 0
 
     def to_json(self):
         return {
@@ -38,6 +49,8 @@ class CellRecord:
             "duration": round(self.duration, 3),
             "error": self.error,
             "failures": list(self.failures),
+            "tiles": self.tiles,
+            "tiles_cached": self.tiles_cached,
         }
 
 
@@ -49,6 +62,9 @@ class RunReport:
     cells: list = field(default_factory=list)
     cache: dict = field(default_factory=dict)
     checkpoint_errors: int = 0
+    tiles_total: int = 0
+    tiles_cached: int = 0
+    tiles_computed: int = 0
 
     def add(self, record):
         self.cells.append(record)
@@ -79,6 +95,11 @@ class RunReport:
             "cells": [cell.to_json() for cell in self.cells],
             "cache": dict(self.cache),
             "checkpoint_errors": self.checkpoint_errors,
+            "tiles": {
+                "total": self.tiles_total,
+                "cached": self.tiles_cached,
+                "computed": self.tiles_computed,
+            },
         }
 
     def render(self):
@@ -86,6 +107,13 @@ class RunReport:
         counts = " ".join(
             f"{status}={self.count(status)}" for status in STATUSES
         )
+        tiles = ""
+        if self.tiles_total:
+            tiles = (
+                f" | tiles: total={self.tiles_total}"
+                f" cached={self.tiles_cached}"
+                f" computed={self.tiles_computed}"
+            )
         cache = ""
         if self.cache:
             cache = (
@@ -98,7 +126,7 @@ class RunReport:
         )
         lines = [
             f"[robustness] {self.scenario or 'run'}: cells={len(self.cells)} "
-            f"{counts}{cache}{checkpoint}"
+            f"{counts}{tiles}{cache}{checkpoint}"
         ]
         for cell in self.cells:
             if cell.status == "ok":

@@ -1,0 +1,186 @@
+"""The work-rectangle scheduler: one worker pool for cells x trials.
+
+Before this module, a scenario run had two mutually-exclusive
+parallelism axes — ``--jobs`` fanned grid *cells* across a fork pool
+and ``--processes`` fanned Monte Carlo *trials* inside one cell — and
+combining them exited 64, because daemonic pool workers cannot fork
+nested pools.  A many-core box therefore could not be saturated on a
+small grid of large cells.
+
+The scheduler removes the axes entirely.  Every scenario run is a
+**work rectangle**: the grid's cells on one side, each cell's Monte
+Carlo trials on the other.  :func:`tile_ranges` decomposes each cell's
+trial axis into *tiles* — contiguous runs of whole engine trial blocks
+(see :meth:`~repro.core.mc.MonteCarloEngine.block_size`; the batched
+verify stage draws one RNG per block, keyed on the block's first trial,
+so only block-aligned splits are bitwise-identical to an unsplit run) —
+and the resulting flat tile list is packed onto **one** supervised fork
+pool (:func:`~repro.robustness.supervisor.supervised_map`; no second
+supervision path), sized by :func:`resolve_workers`:
+
+- ``workers`` / ``REPRO_WORKERS`` is the one knob: total concurrent
+  worker processes; ``0`` means auto-size to the detected core count
+  (:func:`auto_workers`).
+- the deprecated ``jobs`` / ``processes`` pair (``REPRO_JOBS`` /
+  ``REPRO_MC_PROCESSES``) now *combines* into ``jobs * processes``
+  workers instead of conflicting.
+
+Tile boundaries are a pure function of the cell's trial count and the
+engine block size — never of the worker count — so a tile's
+content-addressed cache key is stable across serial, ``--workers 4``,
+and ``--jobs 2 --processes 2`` invocations, which is what makes warm
+reruns incremental (only changed cells/blocks recompute) and still
+byte-identical to a cold serial run.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.robustness.errors import ScenarioConfigError
+
+__all__ = [
+    "DEFAULT_TILES_PER_CELL",
+    "Tile",
+    "auto_workers",
+    "resolve_tile_trials",
+    "resolve_worker_count",
+    "resolve_workers",
+    "tile_ranges",
+]
+
+#: Upper bound on tiles per cell when no explicit tile size is given:
+#: enough grain to saturate a many-core box on a handful of cells,
+#: without paying per-tile setup (accelerator mapping, fork) for every
+#: single trial block.  Part of the tile cache key's geometry — change
+#: it and warm reruns re-tile (and therefore recompute).
+DEFAULT_TILES_PER_CELL = 8
+
+
+def auto_workers():
+    """The machine's usable core count.
+
+    ``len(os.sched_getaffinity(0))`` respects cgroup/CPU-set limits
+    (what a containerized CI run can actually use); platforms without
+    it fall back to ``os.cpu_count()``.
+    """
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):
+        return max(1, os.cpu_count() or 1)
+
+
+def resolve_worker_count(value, env, what):
+    """Shared worker-count semantics for every parallelism knob.
+
+    Explicit argument wins, else the environment variable; unset/empty
+    means "not requested" (``None``).  ``0`` — from either source —
+    consistently means "auto-size to the machine"
+    (:func:`auto_workers`); negative values raise
+    :class:`~repro.robustness.errors.ScenarioConfigError`.
+    """
+    if value is None:
+        raw = os.environ.get(env, "").strip()
+        if not raw:
+            return None
+        try:
+            value = int(raw)
+        except ValueError as exc:
+            raise ScenarioConfigError(
+                f"{env} must be an integer, got {raw!r}"
+            ) from exc
+    value = int(value)
+    if value < 0:
+        raise ScenarioConfigError(
+            f"{what} must be >= 1, or 0 to auto-size to the core count"
+        )
+    if value == 0:
+        return auto_workers()
+    return value
+
+
+def resolve_workers(workers=None, jobs=None, processes=None):
+    """Resolve the rectangle's worker count from every supported knob.
+
+    ``workers`` / ``REPRO_WORKERS`` is authoritative when given (``0``
+    = auto).  Otherwise the deprecated pair is consulted — ``jobs`` /
+    ``REPRO_JOBS`` (formerly: parallel cells) and ``processes`` /
+    ``REPRO_MC_PROCESSES`` (formerly: the per-cell trial pool) — and
+    *combined* into ``jobs * processes`` workers, the capacity the two
+    pools would have claimed had nesting worked.  With no knob set at
+    all the result is ``None``: the caller runs serially (parallelism
+    stays opt-in, as before).
+    """
+    workers = resolve_worker_count(workers, "REPRO_WORKERS", "workers")
+    if workers is not None:
+        return workers
+    jobs = resolve_worker_count(jobs, "REPRO_JOBS", "jobs")
+    processes = resolve_worker_count(
+        processes, "REPRO_MC_PROCESSES", "processes"
+    )
+    if jobs is None and processes is None:
+        return None
+    return max(1, (jobs or 1) * (processes or 1))
+
+
+def resolve_tile_trials(tile_trials=None):
+    """Optional explicit tile height (trials per tile): arg else
+    ``REPRO_TILE_TRIALS``; unset means the :data:`DEFAULT_TILES_PER_CELL`
+    heuristic.  Rounded up to a whole trial block by
+    :func:`tile_ranges`.  Changes tile cache keys (a different
+    decomposition is a different artifact), never results.
+    """
+    if tile_trials is None:
+        raw = os.environ.get("REPRO_TILE_TRIALS", "").strip()
+        if not raw:
+            return None
+        try:
+            tile_trials = int(raw)
+        except ValueError as exc:
+            raise ScenarioConfigError(
+                f"REPRO_TILE_TRIALS must be an integer, got {raw!r}"
+            ) from exc
+    tile_trials = int(tile_trials)
+    if tile_trials < 1:
+        raise ScenarioConfigError("tile_trials must be >= 1")
+    return tile_trials
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One rectangle tile: trials ``[start, stop)`` of cell ``cell``."""
+
+    cell: int
+    start: int
+    stop: int
+
+    @property
+    def trials(self):
+        return self.stop - self.start
+
+
+def tile_ranges(n_trials, block, tile_trials=None):
+    """Deterministic tile boundaries for one cell's trial axis.
+
+    Every tile is a contiguous run of whole trial blocks starting at a
+    multiple of ``block`` — the alignment the batched verify stream
+    requires for bitwise identity.  The decomposition depends only on
+    ``(n_trials, block, tile_trials)``, never on the worker count, so
+    the same cell always yields the same tiles (and the same tile cache
+    keys) no matter how — or whether — the run is parallelized.
+    """
+    n_trials = int(n_trials)
+    if n_trials < 1:
+        raise ValueError("n_trials must be >= 1")
+    block = max(1, int(block))
+    if tile_trials is None:
+        n_blocks = -(-n_trials // block)  # ceil
+        per_tile = -(-n_blocks // DEFAULT_TILES_PER_CELL)
+    else:
+        per_tile = max(1, -(-int(tile_trials) // block))
+    span = per_tile * block
+    return [
+        (start, min(start + span, n_trials))
+        for start in range(0, n_trials, span)
+    ]

@@ -33,6 +33,7 @@ import multiprocessing
 import os
 import queue as queue_mod
 import time
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -247,6 +248,39 @@ def supervised_map(fn, items, workers, timeout=None, retries=None,
             for item in items
         },
     )
+    if not has_fork():
+        # The payload crosses to workers via fork (closures over models
+        # never pickle), so a fork-less platform cannot run the pool at
+        # all: degrade to the serial parent loop with the same retry
+        # policy rather than crash in get_context("fork").
+        warnings.warn(
+            "supervised_map needs the fork start method; running "
+            f"{len(items)} task(s) serially in the parent",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        for item in items:
+            report = result.reports[item]
+            started = time.monotonic()
+            try:
+                value, attempts = run_with_retry(
+                    lambda item=item: fn(item),
+                    retries=retries,
+                    backoff=backoff,
+                    failures=report.failures,
+                )
+            except Exception as exc:
+                report.attempts = max(1, len(report.failures))
+                report.status = "failed"
+                report.error = _describe(exc)
+            else:
+                report.attempts = attempts
+                report.status = "ok" if attempts == 1 else "recovered"
+                result.values[item] = value
+                if on_result is not None:
+                    on_result(item, value)
+            report.duration = time.monotonic() - started
+        return result
     ctx = multiprocessing.get_context("fork")
     out_queue = ctx.Queue()
     pending = deque((item, 1, 0.0) for item in items)  # (item, attempt, not_before)

@@ -222,8 +222,11 @@ class TestSelectionPlanArtifact:
 
 
 class TestScenarioIntegration:
-    def test_jobs_and_processes_are_mutually_exclusive(self, mini_zoo):
-        """Nested fork pools cannot exist; the orchestrator refuses early."""
+    def test_jobs_and_processes_combine_into_one_pool(self, mini_zoo):
+        """Regression: ``jobs=2, processes=2`` used to raise (exit 64 at
+        the CLI) because cell and trial pools could not nest.  The
+        work-rectangle scheduler folds the pair into one 4-worker pool,
+        so the combination now schedules and completes."""
         from repro.plan import ScenarioCell, ScenarioOrchestrator
 
         orchestrator = ScenarioOrchestrator(
@@ -231,12 +234,19 @@ class TestScenarioIntegration:
             cache=PlanArtifactCache(disk=False),
         )
         cells = [
-            ScenarioCell(key=i, request=PlanRequest(methods=("swim",)),
-                         rng=RngStream(1), mc_runs=1)
+            ScenarioCell(key=i,
+                         request=PlanRequest(methods=("magnitude",),
+                                             nwc_targets=(0.0, 0.5),
+                                             sigma=0.1),
+                         rng=RngStream(1).child("pool", i), mc_runs=1)
             for i in range(2)
         ]
-        with pytest.raises(ValueError, match="parallelism axis"):
-            orchestrator.run(cells, jobs=2, processes=2)
+        outcomes = orchestrator.run(cells, jobs=2, processes=2)
+        assert set(outcomes) == {0, 1}
+        report = orchestrator.report
+        assert not report.failed
+        assert report.tiles_total == 2
+        assert report.tiles_computed == 2
 
     @pytest.mark.slow
     def test_retention_grid_runs_one_sensitivity_pass(self, monkeypatch):
@@ -292,10 +302,16 @@ class TestScenarioIntegration:
             technologies=("pcm",),
             times=(1.0, ONE_HOUR),
             methods=("swim", "magnitude"),
-            plan_cache=PlanArtifactCache(disk=False),
         )
-        serial = run_retention(scale, **kwargs)
-        parallel = run_retention(scale, jobs=2, **kwargs)
+        # Separate in-memory caches: the parallel run must actually
+        # compute its tiles, not replay the serial run's eval artifacts.
+        serial = run_retention(
+            scale, plan_cache=PlanArtifactCache(disk=False), **kwargs
+        )
+        parallel = run_retention(
+            scale, workers=2, plan_cache=PlanArtifactCache(disk=False),
+            **kwargs
+        )
         serial_path = save_retention_csv(serial, str(tmp_path / "serial.csv"))
         parallel_path = save_retention_csv(
             parallel, str(tmp_path / "parallel.csv")

@@ -386,6 +386,47 @@ class TestSupervisedMap:
         assert all(pid == os.getpid() for *_, pid in seen)
 
 
+class TestForklessDegrade:
+    def test_supervised_map_runs_serially_without_fork(self, monkeypatch):
+        """A platform without the fork start method gets the same map —
+        run serially in the parent, with one warning and the same retry
+        policy — instead of a crash in get_context("fork")."""
+        import repro.robustness.supervisor as sup
+
+        monkeypatch.setattr(sup, "has_fork", lambda: False)
+        calls = []
+
+        def flaky(item):
+            calls.append(item)
+            if item == 1 and calls.count(1) < 2:
+                raise TransientFaultError("blip")
+            return item * 10
+
+        seen = []
+        with pytest.warns(RuntimeWarning, match="serially in the parent"):
+            result = sup.supervised_map(
+                flaky, [0, 1, 2], workers=4, retries=2, backoff=0.0,
+                on_result=lambda item, value: seen.append(item),
+            )
+        assert result.values == {0: 0, 1: 10, 2: 20}
+        assert result.reports[0].status == "ok"
+        assert result.reports[1].status == "recovered"
+        assert result.reports[1].attempts == 2
+        assert seen == [0, 1, 2]
+
+    def test_fatal_task_still_fails_without_fork(self, monkeypatch):
+        import repro.robustness.supervisor as sup
+
+        monkeypatch.setattr(sup, "has_fork", lambda: False)
+        with pytest.warns(RuntimeWarning, match="serially in the parent"):
+            result = sup.supervised_map(
+                lambda i: (_ for _ in ()).throw(ValueError("broken")),
+                [0], workers=2, backoff=0.0,
+            )
+        assert result.failed == [0]
+        assert "ValueError" in result.reports[0].error
+
+
 # ----------------------------------------------------- checkpoint encoding
 
 
@@ -512,14 +553,20 @@ class TestOrchestratorRobustness:
         assert cache2.stats()["disk"] >= hits_before + 2  # checkpoint hits
         _assert_outcomes_equal(first, resumed)
 
-    def test_without_resume_cells_re_execute(self, mini_zoo, tmp_path):
+    def test_without_resume_warm_tiles_serve_cells(self, mini_zoo, tmp_path):
+        """Even without --resume, a warm rerun is passless: every tile
+        comes from the eval cache and the cells merge as ``cached``."""
         cache = PlanArtifactCache(root=str(tmp_path), memory=False)
-        _orchestrator(mini_zoo, cache).run(_grid(), scenario="t")
+        first = _orchestrator(mini_zoo, cache).run(_grid(), scenario="t")
         orchestrator = _orchestrator(
             mini_zoo, PlanArtifactCache(root=str(tmp_path), memory=False)
         )
-        orchestrator.run(_grid(), scenario="t")
-        assert [c.status for c in orchestrator.report.cells] == ["ok", "ok"]
+        second = orchestrator.run(_grid(), scenario="t")
+        report = orchestrator.report
+        assert [c.status for c in report.cells] == ["cached", "cached"]
+        assert report.tiles_cached == report.tiles_total > 0
+        assert report.tiles_computed == 0
+        _assert_outcomes_equal(first, second)
 
     def test_failed_cell_reported_not_raised(self, mini_zoo, tmp_path,
                                              monkeypatch):
@@ -589,15 +636,163 @@ class TestOrchestratorRobustness:
         assert "magnitude" in plan.orders
         assert cache.stats()["producer_retries"] == 2
 
-    def test_jobs_processes_conflict_is_typed(self, mini_zoo):
+    def test_jobs_processes_combination_schedules(self, mini_zoo):
+        """Regression: this exact call used to raise ScenarioConfigError
+        ("one parallelism axis") — the rectangle folds both knobs into
+        one pool and completes the grid."""
         orchestrator = _orchestrator(mini_zoo, PlanArtifactCache(disk=False))
-        with pytest.raises(ScenarioConfigError, match="parallelism axis"):
-            orchestrator.run(_grid(), jobs=2, processes=2)
+        outcomes = orchestrator.run(_grid(), jobs=2, processes=2)
+        assert set(outcomes) == {"cell0", "cell1"}
+        assert not orchestrator.report.failed
 
     def test_resolve_jobs_rejects_garbage_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_JOBS", "lots")
         with pytest.raises(ScenarioConfigError, match="REPRO_JOBS"):
             resolve_jobs()
+
+
+# ------------------------------------------------- incremental eval cache
+
+
+def _seeded_grid(seed, sigmas=(0.1, 0.15), mc_runs=2):
+    root = RngStream(seed).child("evalcache")
+    return [
+        ScenarioCell(
+            key=f"cell{i}",
+            request=PlanRequest(
+                methods=("magnitude",), nwc_targets=(0.0, 0.5), sigma=sigma,
+            ),
+            rng=root.child("cell", i),
+            mc_runs=mc_runs,
+        )
+        for i, sigma in enumerate(sigmas)
+    ]
+
+
+class TestEvalTileCache:
+    def test_changed_cell_recomputes_only_its_tiles(self, mini_zoo,
+                                                    tmp_path):
+        """A one-cell config change (here: its trial seed) invalidates
+        exactly that cell's tiles; the untouched cell stays cached."""
+        cache = PlanArtifactCache(root=str(tmp_path), memory=False)
+        _orchestrator(mini_zoo, cache).run(_seeded_grid(91), scenario="t")
+
+        reseeded = _seeded_grid(91)
+        reseeded[0].rng = RngStream(4242).child("other")
+        orchestrator = _orchestrator(
+            mini_zoo, PlanArtifactCache(root=str(tmp_path), memory=False)
+        )
+        orchestrator.run(reseeded, scenario="t")
+        report = orchestrator.report
+        statuses = {c.key: c.status for c in report.cells}
+        assert statuses == {"cell0": "ok", "cell1": "cached"}
+        assert report.tiles_total == 2
+        assert report.tiles_cached == 1
+        assert report.tiles_computed == 1
+
+    def test_eval_set_change_invalidates_every_tile(self, mini_zoo,
+                                                    tmp_path):
+        cache = PlanArtifactCache(root=str(tmp_path), memory=False)
+        _orchestrator(mini_zoo, cache).run(_seeded_grid(91), scenario="t")
+
+        bumped_data = SimpleNamespace(
+            train_x=mini_zoo.data.train_x,
+            train_y=mini_zoo.data.train_y,
+            test_x=mini_zoo.data.test_x + 1e-6,
+            test_y=mini_zoo.data.test_y,
+        )
+        bumped = SimpleNamespace(
+            model=mini_zoo.model, data=bumped_data,
+            clean_accuracy=mini_zoo.clean_accuracy, spec=mini_zoo.spec,
+        )
+        orchestrator = _orchestrator(
+            bumped, PlanArtifactCache(root=str(tmp_path), memory=False)
+        )
+        orchestrator.run(_seeded_grid(91), scenario="t")
+        report = orchestrator.report
+        assert report.tiles_cached == 0
+        assert report.tiles_computed == report.tiles_total == 2
+
+    def test_quarantined_eval_tile_recomputes(self, mini_zoo, tmp_path):
+        """A truncated eval artifact reads as a miss (quarantined by the
+        self-healing cache) and only that tile recomputes."""
+        cache = PlanArtifactCache(root=str(tmp_path), memory=False)
+        first = _orchestrator(mini_zoo, cache).run(
+            _seeded_grid(91), scenario="t"
+        )
+        tiles = sorted(
+            name for name in os.listdir(cache.root)
+            if name.startswith("eval-")
+        )
+        assert len(tiles) == 2
+        victim = os.path.join(cache.root, tiles[0])
+        with open(victim, "r+b") as handle:
+            handle.truncate(os.path.getsize(victim) // 2)
+
+        orchestrator = _orchestrator(
+            mini_zoo, PlanArtifactCache(root=str(tmp_path), memory=False)
+        )
+        with pytest.warns(RuntimeWarning, match="corrupt plan cache"):
+            healed = orchestrator.run(_seeded_grid(91), scenario="t")
+        report = orchestrator.report
+        assert report.cache["quarantined"] == 1
+        assert report.tiles_cached == 1
+        assert report.tiles_computed == 1
+        _assert_outcomes_equal(first, healed)
+        # The recomputed artifact healed on disk: a third run is passless.
+        third = _orchestrator(
+            mini_zoo, PlanArtifactCache(root=str(tmp_path), memory=False)
+        )
+        third.run(_seeded_grid(91), scenario="t")
+        assert third.report.tiles_computed == 0
+
+
+class TestTileMerge:
+    def test_merged_windows_bitwise_equal_full_sweep(self, mini_zoo):
+        """Adjacent trial_range windows vstack back into the unsplit
+        sweep's exact bits — rows, NWC means, and wear statistics."""
+        from repro.experiments.sweeps import run_method_sweep
+        from repro.robustness import merge_outcomes
+
+        kwargs = dict(
+            sigma=None, technology="fefet", nwc_targets=(0.0, 0.5),
+            mc_runs=4, eval_samples=32, sense_samples=64,
+            methods=("magnitude",),
+        )
+        rng = RngStream(7).child("merge")
+        full = run_method_sweep(mini_zoo, rng=rng, **kwargs)
+        parts = [
+            run_method_sweep(mini_zoo, rng=rng, trial_range=(0, 2), **kwargs),
+            run_method_sweep(mini_zoo, rng=rng, trial_range=(2, 4), **kwargs),
+        ]
+        merged = merge_outcomes(parts)
+        curve, expected = merged.curves["magnitude"], full.curves["magnitude"]
+        assert np.array_equal(curve.accuracy_runs, expected.accuracy_runs)
+        assert np.array_equal(curve.achieved_nwc, expected.achieved_nwc)
+        assert merged.wear == full.wear
+        assert merged.sigma == full.sigma
+
+    def test_misaligned_window_is_rejected(self, mini_zoo):
+        from repro.experiments.sweeps import run_method_sweep
+
+        with pytest.raises(ValueError, match="block grid"):
+            run_method_sweep(
+                mini_zoo, sigma=0.1, nwc_targets=(0.0,), mc_runs=4,
+                rng=RngStream(7), eval_samples=32, sense_samples=64,
+                methods=("magnitude",), trial_range=(1, 3),
+            )
+
+    def test_tile_height_changes_schedule_not_results(self, mini_zoo):
+        """REPRO_TILE_TRIALS re-tiles (different artifacts) but the
+        merged outcomes are bit-identical at any tile height."""
+        grid = lambda: _seeded_grid(23, mc_runs=4)
+        coarse = _orchestrator(mini_zoo, PlanArtifactCache(disk=False))
+        fine = _orchestrator(mini_zoo, PlanArtifactCache(disk=False))
+        a = coarse.run(grid(), tile_trials=4, scenario="t")
+        b = fine.run(grid(), tile_trials=2, scenario="t")
+        assert coarse.report.tiles_total == 2  # one 4-trial tile per cell
+        assert fine.report.tiles_total == 4  # two 2-trial tiles per cell
+        _assert_outcomes_equal(a, b)
 
 
 # -------------------------------------------------------------- CLI codes
@@ -623,15 +818,50 @@ def _runner(args, env):
 
 
 class TestRunnerExitCodes:
-    def test_jobs_processes_conflict_exit_64_one_line(self, tmp_path):
-        proc = _runner(
-            ["retention", "--jobs", "2", "--processes", "2"],
-            _runner_env(tmp_path),
+    def test_jobs_times_processes_schedules_and_completes(self, tmp_path):
+        """Regression: ``--jobs 2 --processes 2`` used to exit 64 with a
+        "pick one parallelism axis" error.  The work-rectangle scheduler
+        combines them into one 4-worker pool; the run completes and its
+        CSV is byte-identical to the serial run's."""
+        serial = _runner(
+            ["retention"],
+            _runner_env(
+                tmp_path / "serial", REPRO_CACHE_DIR=str(tmp_path / "c1")
+            ),
         )
-        assert proc.returncode == 64
-        lines = [l for l in proc.stderr.splitlines() if l.strip()]
-        assert len(lines) == 1 and lines[0].startswith("error:")
-        assert "parallelism axis" in lines[0]
+        assert serial.returncode == 0, serial.stderr[-2000:]
+        serial_csv = (
+            tmp_path / "serial" / "results" / "retention.csv"
+        ).read_bytes()
+
+        combined = _runner(
+            ["retention", "--jobs", "2", "--processes", "2"],
+            _runner_env(
+                tmp_path / "both", REPRO_CACHE_DIR=str(tmp_path / "c2")
+            ),
+        )
+        assert combined.returncode == 0, combined.stderr[-2000:]
+        assert "deprecated" in combined.stdout
+        combined_csv = (
+            tmp_path / "both" / "results" / "retention.csv"
+        ).read_bytes()
+        assert combined_csv == serial_csv
+
+    def test_env_only_jobs_and_processes_schedule(self, tmp_path):
+        """Regression: REPRO_JOBS + REPRO_MC_PROCESSES with no CLI flags
+        also used to exit 64; the env-only combination must schedule
+        normally too."""
+        proc = _runner(
+            ["retention"],
+            _runner_env(
+                tmp_path,
+                REPRO_CACHE_DIR=str(tmp_path / "cache"),
+                REPRO_JOBS="2",
+                REPRO_MC_PROCESSES="2",
+            ),
+        )
+        assert proc.returncode == 0, proc.stderr[-2000:]
+        assert (tmp_path / "results" / "retention.csv").exists()
 
     def test_unwritable_cache_dir_exit_74_one_line(self, tmp_path):
         blocker = tmp_path / "not-a-dir"
@@ -666,6 +896,13 @@ class TestRunnerChaos:
         assert baseline.returncode == 0, baseline.stderr[-2000:]
         serial_csv = (tmp_path / "a" / "results" / "retention.csv").read_bytes()
 
+        # Drop the baseline's evaluation tiles (keep the plan artifacts,
+        # which is what corrupt:artifact@order needs to fire on read):
+        # warm tiles would serve every cell from the cache and the
+        # crash/hang faults — fired per scheduled tile — never trigger.
+        for tile in (cache / "plan" / "v2").glob("eval-*.npz"):
+            tile.unlink()
+
         chaos = _runner(
             ["retention", "--jobs", "2"],
             _runner_env(
@@ -676,6 +913,7 @@ class TestRunnerChaos:
                 REPRO_FAULTS_DIR=str(tmp_path / "ledger"),
                 REPRO_CELL_TIMEOUT="30",
                 REPRO_RESUME="0",
+                REPRO_MC_PROCESSES="2",  # chaos + the combined knobs
             ),
         )
         assert chaos.returncode == 0, chaos.stderr[-2000:]
