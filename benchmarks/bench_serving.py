@@ -1,0 +1,290 @@
+"""Benchmark: the plan-serving layer's three perf contracts.
+
+1. **Cold serving** — sequential ``POST /v1/plan`` over distinct
+   read times, each paying one engine resolution.
+2. **Warm fast-path** — repeated rounds of the same requests replay
+   cached canonical bytes; the ``engine_resolutions`` tripwire must
+   stay flat and warm p50 must be >= 10x faster than cold p50.
+3. **Coalescing** — K identical concurrent POSTs on a fresh key must
+   collapse into exactly one engine resolution.
+
+Every served plan is also checked byte-identical against a direct
+memory-only :class:`~repro.plan.engine.PlanEngine` resolution — the
+speed must not come from serving different bytes.
+
+Writes ``$REPRO_RESULTS_DIR/BENCH_serving.json`` (CI uploads it)::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py          # default
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke  # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+import tempfile
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+METHODS = ("swim", "hetero_swim", "magnitude")
+NWC_BUDGETS = (0.1, 0.3, 0.5, 0.7, 0.9)
+READ_TIMES = (1.0, 3.6e3, 8.64e4, 2.592e6, 7.776e6, 3.1536e7)
+COALESCE_READ_TIME = 6.048e5  # a key no other phase touches
+COALESCE_CLIENTS = 16
+
+
+def _body(read_time, weight_bits):
+    return {
+        "methods": list(METHODS),
+        "nwc_targets": list(NWC_BUDGETS),
+        "technology": "pcm-comp",
+        "read_time": read_time,
+        "weight_bits": weight_bits,
+    }
+
+
+def _percentile(samples, p):
+    ordered = sorted(samples)
+    return ordered[round((p / 100.0) * (len(ordered) - 1))]
+
+
+def _classify(seconds_list, total_seconds):
+    return {
+        "requests": len(seconds_list),
+        "requests_per_second": len(seconds_list) / max(total_seconds, 1e-9),
+        "p50_ms": 1e3 * _percentile(seconds_list, 50),
+        "p99_ms": 1e3 * _percentile(seconds_list, 99),
+    }
+
+
+class _ServerThread:
+    """The HTTP server on a daemon thread (ephemeral port)."""
+
+    def __init__(self, service):
+        from repro.serve import PlanHTTPServer
+
+        self.server = PlanHTTPServer(service, port=0)
+        self._ready = threading.Event()
+        self._loop = None
+        self.error = None
+        self._thread = threading.Thread(target=self._main, daemon=True)
+
+    def _main(self):
+        async def serve():
+            await self.server.start()
+            self._loop = asyncio.get_running_loop()
+            self._ready.set()
+            return await self.server.run(install_signals=False)
+
+        try:
+            asyncio.run(serve())
+        except BaseException as exc:
+            self.error = exc
+        finally:
+            self._ready.set()
+
+    def __enter__(self):
+        self._thread.start()
+        assert self._ready.wait(timeout=120), "server never came up"
+        if self.error is not None:
+            raise self.error
+        return self
+
+    def __exit__(self, *exc_info):
+        if self._thread.is_alive() and self._loop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self.server.request_shutdown)
+            except RuntimeError:
+                pass
+            self._thread.join(timeout=120)
+
+    @property
+    def port(self):
+        return self.server.port
+
+
+def bench_serving(service, port, weight_bits, warm_rounds):
+    """Run the three phases against a live server; returns the report."""
+    from repro.serve import PlanClient
+
+    bodies = [_body(t, weight_bits) for t in READ_TIMES]
+    report = {}
+
+    with PlanClient(port=port, timeout=600) as client:
+        # -- cold: each distinct read time pays one engine resolution
+        served = {}
+        latencies = []
+        start = time.perf_counter()
+        for body in bodies:
+            t0 = time.perf_counter()
+            response = client.plan(body)
+            latencies.append(time.perf_counter() - t0)
+            assert response.source == "cold", response.source
+            served[response.key] = response.data
+        report["cold"] = _classify(latencies, time.perf_counter() - start)
+
+        tripwire = service.counters["engine_resolutions"]
+        assert tripwire == len(bodies), (tripwire, len(bodies))
+
+        # -- warm: repeated rounds replay stored bytes, tripwire flat
+        latencies = []
+        start = time.perf_counter()
+        for _ in range(warm_rounds):
+            for body in bodies:
+                t0 = time.perf_counter()
+                response = client.plan(body)
+                latencies.append(time.perf_counter() - t0)
+                assert response.source == "warm", response.source
+                assert response.data == served[response.key]
+        report["warm"] = _classify(latencies, time.perf_counter() - start)
+        report["warm"]["tripwire_flat"] = (
+            service.counters["engine_resolutions"] == tripwire
+        )
+
+    # -- coalesced: K identical concurrent POSTs, one resolution
+    fresh = _body(COALESCE_READ_TIME, weight_bits)
+    barrier = threading.Barrier(COALESCE_CLIENTS)
+
+    def fire():
+        with PlanClient(port=port, timeout=600) as worker:
+            barrier.wait()
+            t0 = time.perf_counter()
+            response = worker.plan(fresh)
+            return time.perf_counter() - t0, response
+
+    before = service.counters["engine_resolutions"]
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=COALESCE_CLIENTS) as pool:
+        results = list(pool.map(lambda _: fire(), range(COALESCE_CLIENTS)))
+    total = time.perf_counter() - start
+    resolutions = service.counters["engine_resolutions"] - before
+    payloads = {response.data for _, response in results}
+    report["coalesced"] = {
+        **_classify([seconds for seconds, _ in results], total),
+        "concurrent_clients": COALESCE_CLIENTS,
+        "engine_resolutions": resolutions,
+        "sources": sorted(response.source for _, response in results),
+        "byte_identical_fanout": len(payloads) == 1,
+    }
+    served[results[0][1].key] = results[0][1].data
+    return report, served
+
+
+def check_byte_identity(zoo, scale, served):
+    """Every served payload == a direct memory-only engine resolution."""
+    from repro.plan import PlanArtifactCache, PlanEngine
+    from repro.serve import parse_plan_request, plan_bytes
+    from repro.serve.codec import plan_config
+
+    engine = PlanEngine(
+        zoo.model,
+        zoo.data.train_x[:scale.sense_samples],
+        zoo.data.train_y[:scale.sense_samples],
+        workload=zoo.spec.key,
+        cache=PlanArtifactCache(disk=False),
+        curvature_batch_size=min(256, scale.sense_samples),
+    )
+    for read_time in READ_TIMES + (COALESCE_READ_TIME,):
+        body = _body(read_time, zoo.spec.weight_bits)
+        request = parse_plan_request(json.dumps(body).encode("utf-8"))
+        key = engine.cache.key("plan", plan_config(engine, request))
+        if served[key] != plan_bytes(engine.plan(request)):
+            return False
+    return True
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Benchmark the plan-serving HTTP layer."
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="seconds-scale sanity run (CI)")
+    parser.add_argument("--warm-rounds", type=int, default=None,
+                        help="rounds over the warm request set "
+                             "(default: 20, or 5 with --smoke)")
+    parser.add_argument("--output", default=None,
+                        help="JSON output path (default: "
+                             "$REPRO_RESULTS_DIR/BENCH_serving.json)")
+    args = parser.parse_args(argv)
+
+    from repro.experiments.config import get_scale
+    from repro.experiments.model_zoo import load_workload
+    from repro.experiments.reporting import results_dir
+    from repro.plan import PlanArtifactCache
+    from repro.serve import PlanService
+    from repro.serve.cli import build_service
+
+    scale = get_scale("smoke" if args.smoke else "default")
+    warm_rounds = args.warm_rounds or (5 if args.smoke else 20)
+    print(f"# bench_serving — scale: {scale.name}")
+
+    with tempfile.TemporaryDirectory(prefix="bench-serving-") as cache_root:
+        service = build_service(
+            scale=scale, cache=PlanArtifactCache(root=cache_root)
+        )
+        assert isinstance(service, PlanService)
+        zoo_key = service.engine.workload
+        with _ServerThread(service) as running:
+            report_body, served = bench_serving(
+                service, running.port,
+                weight_bits=4, warm_rounds=warm_rounds,
+            )
+
+        zoo = load_workload(scale.workload("lenet-digits"))
+        identical = check_byte_identity(zoo, scale, served)
+
+    report = {
+        "scale": scale.name,
+        "workload": zoo_key,
+        "warm_rounds": warm_rounds,
+        **report_body,
+        "warm_speedup_p50": (
+            report_body["cold"]["p50_ms"] / report_body["warm"]["p50_ms"]
+        ),
+        "byte_identical_to_direct_resolution": identical,
+    }
+
+    for phase in ("cold", "warm", "coalesced"):
+        stats = report[phase]
+        print(f"{phase}: {stats['requests']} requests, "
+              f"{stats['requests_per_second']:.1f} req/s, "
+              f"p50 {stats['p50_ms']:.2f}ms, p99 {stats['p99_ms']:.2f}ms")
+    print(f"warm p50 speedup over cold: {report['warm_speedup_p50']:.0f}x")
+    print(f"coalesced engine resolutions: "
+          f"{report['coalesced']['engine_resolutions']} "
+          f"(of {COALESCE_CLIENTS} concurrent clients)")
+    print(f"byte-identical to direct resolution: {identical}")
+
+    failed = []
+    if not report["warm"]["tripwire_flat"]:
+        failed.append("warm traffic moved the engine_resolutions tripwire")
+    if report["warm_speedup_p50"] < 10.0:
+        failed.append(
+            f"warm p50 only {report['warm_speedup_p50']:.1f}x cold (< 10x)"
+        )
+    if report["coalesced"]["engine_resolutions"] != 1:
+        failed.append(
+            f"{report['coalesced']['engine_resolutions']} resolutions for "
+            f"{COALESCE_CLIENTS} identical concurrent requests (want 1)"
+        )
+    if not report["coalesced"]["byte_identical_fanout"]:
+        failed.append("coalesced fan-out served divergent bytes")
+    if not identical:
+        failed.append("served bytes diverged from a direct engine resolution")
+    for reason in failed:
+        print(f"ERROR: {reason}", file=sys.stderr)
+
+    out_path = args.output or os.path.join(results_dir(), "BENCH_serving.json")
+    os.makedirs(os.path.dirname(os.path.abspath(out_path)), exist_ok=True)
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+    print(f"[saved {out_path}]")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

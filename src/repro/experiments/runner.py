@@ -8,9 +8,13 @@ Usage::
     python -m repro.experiments.runner ablations
     python -m repro.experiments.runner devices retention spatial
     python -m repro.experiments.runner all --scale default
+    python -m repro.experiments.runner serve --port 8321
 
 Results print to stdout in the paper's layout and are saved as CSV under
-``results/`` (override with ``REPRO_RESULTS_DIR``).
+``results/`` (override with ``REPRO_RESULTS_DIR``).  ``serve`` is not
+an experiment: it stands up the plan-serving HTTP service
+(:mod:`repro.serve`) over a workload's :class:`~repro.plan.engine.
+PlanEngine` and runs until signaled.
 """
 
 from __future__ import annotations
@@ -164,6 +168,15 @@ def _run_ablations(scale, out_dir):
 
 def main(argv=None):
     """CLI entry point (also exposed as the ``repro-experiments`` script)."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        # The serving subcommand has its own flag set (port, host,
+        # workers) and lifecycle; ``run()``'s taxonomy wrapper still
+        # applies — startup/shutdown failures exit 64/74/75.
+        from repro.serve.cli import serve_main
+
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         description="Regenerate the SWIM paper's tables and figures."
     )

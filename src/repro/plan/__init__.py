@@ -19,6 +19,7 @@ from repro.plan.cache import (
     artifact_key,
     data_digest,
     model_digest,
+    resolve_memory_items,
 )
 from repro.plan.engine import (
     PLANNED_METHODS,
@@ -49,6 +50,7 @@ __all__ = [
     "load_plans",
     "model_digest",
     "resolve_jobs",
+    "resolve_memory_items",
     "resolve_resume",
     "save_plans",
 ]

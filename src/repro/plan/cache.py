@@ -29,6 +29,14 @@ once per grid point.  This cache makes them first-class artifacts:
 - **orphan hygiene**: writes go through ``<path>.tmp.<pid>`` + atomic
   rename; a writer that dies in between leaves a tmp file, which init
   sweeps once it is older than ``tmp_max_age``.
+- **bounded memory tier**: the in-process dict is an LRU keyed on
+  access order; ``memory_items`` / ``REPRO_CACHE_MEM_ITEMS`` caps it
+  (``0`` = unbounded, the historical default).  Evicted entries fall
+  back to the on-disk tier — eviction trades a dict lookup for a disk
+  read, never a recompute — and are counted in
+  :meth:`~PlanArtifactCache.stats` as ``evictions``.  This is what
+  lets a long-lived serving process (:mod:`repro.serve`) hold a
+  working set without growing RSS with the key universe.
 
 Keys are derived purely from content, never from wall-clock or process
 state, so two processes planning the same grid agree byte-for-byte —
@@ -40,12 +48,18 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 import time
 import warnings
+from collections import OrderedDict
 
 import numpy as np
 
-from repro.robustness.errors import CacheCorruptionError, CacheWriteError
+from repro.robustness.errors import (
+    CacheCorruptionError,
+    CacheWriteError,
+    ScenarioConfigError,
+)
 from repro.robustness.faults import active_schedule
 from repro.robustness.supervisor import run_with_retry
 from repro.utils.cache import default_cache_dir
@@ -56,6 +70,7 @@ __all__ = [
     "artifact_key",
     "data_digest",
     "model_digest",
+    "resolve_memory_items",
 ]
 
 #: Bump when the key layout or the artifact semantics change: every
@@ -113,6 +128,31 @@ def artifact_key(kind, config, version=PLAN_CACHE_VERSION):
     return hashlib.sha256(text.encode("utf-8")).hexdigest()[:32]
 
 
+def resolve_memory_items(memory_items=None):
+    """Resolve the memory-tier LRU cap: arg, else ``REPRO_CACHE_MEM_ITEMS``.
+
+    ``0`` (the default when neither is given) means unbounded — the
+    historical behavior; negative values raise
+    :class:`~repro.robustness.errors.ScenarioConfigError`.
+    """
+    if memory_items is None:
+        raw = os.environ.get("REPRO_CACHE_MEM_ITEMS", "").strip()
+        if not raw:
+            return 0
+        try:
+            memory_items = int(raw)
+        except ValueError as exc:
+            raise ScenarioConfigError(
+                f"REPRO_CACHE_MEM_ITEMS must be an integer, got {raw!r}"
+            ) from exc
+    memory_items = int(memory_items)
+    if memory_items < 0:
+        raise ScenarioConfigError(
+            "memory_items must be >= 1, or 0 for an unbounded memory tier"
+        )
+    return memory_items
+
+
 def _content_checksum(arrays):
     """Checksum of an artifact's arrays (names, shapes, dtypes, bytes)."""
     digest = hashlib.sha256()
@@ -148,13 +188,24 @@ class PlanArtifactCache:
         Age (seconds) past which an orphaned ``*.tmp.*`` file from a
         dead writer is swept at init; younger tmp files may belong to a
         live concurrent writer and are left alone.
+    memory_items:
+        LRU cap on the memory tier (least-recently-*used* entry evicted
+        first); default :func:`resolve_memory_items` — i.e.
+        ``REPRO_CACHE_MEM_ITEMS``, else ``0`` = unbounded.  Evictions
+        degrade to the disk tier and are counted in :meth:`stats`.
     """
 
     def __init__(self, root=None, memory=True, disk=True,
-                 version=PLAN_CACHE_VERSION, tmp_max_age=3600.0):
+                 version=PLAN_CACHE_VERSION, tmp_max_age=3600.0,
+                 memory_items=None):
         self.version = int(version)
         self.disk = bool(disk)
-        self._memory = {} if memory else None
+        self._memory = OrderedDict() if memory else None
+        self.memory_items = resolve_memory_items(memory_items)
+        # The serving layer reads warm entries on the event loop while
+        # a resolver thread writes cold ones; one uncontended lock keeps
+        # the LRU's read-reorder + insert + evict sequences atomic.
+        self._memory_lock = threading.Lock()
         self.root = os.path.join(
             root or default_cache_dir(), "plan", f"v{self.version}"
         )
@@ -163,6 +214,7 @@ class PlanArtifactCache:
         self.misses = 0
         self.quarantined = 0
         self.producer_retries = 0
+        self.evictions = 0
         if self.disk:
             self._sweep_stale_tmp()
 
@@ -225,19 +277,44 @@ class PlanArtifactCache:
             return None
         return arrays
 
+    # ------------------------------------------------------------ memory tier
+
+    def _memory_get(self, key):
+        """Memory-tier lookup; a hit refreshes the entry's LRU position."""
+        if self._memory is None:
+            return None
+        with self._memory_lock:
+            arrays = self._memory.get(key)
+            if arrays is not None:
+                self._memory.move_to_end(key)
+            return arrays
+
+    def _remember(self, key, arrays):
+        """Insert into the memory tier, evicting past the LRU cap."""
+        if self._memory is None:
+            return
+        with self._memory_lock:
+            self._memory[key] = arrays
+            self._memory.move_to_end(key)
+            if self.memory_items > 0:
+                while len(self._memory) > self.memory_items:
+                    self._memory.popitem(last=False)
+                    self.evictions += 1
+
     # ---------------------------------------------------------------- access
 
-    def get(self, kind, config):
-        """Load an artifact, or None on miss (memory tier first).
+    def lookup(self, kind, key):
+        """Load an artifact by its content key alone, or None on miss.
 
-        A corrupted/truncated/checksum-mismatched disk entry is
-        quarantined and reported as a miss, so callers transparently
-        fall through to recomputation.
+        The content-addressed read path shared by :meth:`get` and the
+        serving layer's ``GET /v1/plan/<key>`` warm fetch: memory tier
+        first, then the checked (self-healing) disk read.  Never runs a
+        producer.
         """
-        key = self.key(kind, config)
-        if self._memory is not None and key in self._memory:
+        arrays = self._memory_get(key)
+        if arrays is not None:
             self.hits["memory"] += 1
-            return self._memory[key]
+            return arrays
         if self.disk:
             path = os.path.join(self.root, f"{kind}-{key}.npz")
             schedule = active_schedule()
@@ -246,19 +323,26 @@ class PlanArtifactCache:
             if os.path.exists(path):
                 arrays = self._load_checked(path)
                 if arrays is not None:
-                    if self._memory is not None:
-                        self._memory[key] = arrays
+                    self._remember(key, arrays)
                     self.hits["disk"] += 1
                     return arrays
         self.misses += 1
         return None
 
+    def get(self, kind, config):
+        """Load an artifact, or None on miss (memory tier first).
+
+        A corrupted/truncated/checksum-mismatched disk entry is
+        quarantined and reported as a miss, so callers transparently
+        fall through to recomputation.
+        """
+        return self.lookup(kind, self.key(kind, config))
+
     def put(self, kind, config, arrays):
         """Store an artifact in every enabled tier; returns it."""
         key = self.key(kind, config)
         arrays = {name: np.asarray(value) for name, value in arrays.items()}
-        if self._memory is not None:
-            self._memory[key] = arrays
+        self._remember(key, arrays)
         if self.disk:
             path = os.path.join(self.root, f"{kind}-{key}.npz")
             # Write-then-rename so a concurrent reader (parallel cells,
@@ -318,15 +402,27 @@ class PlanArtifactCache:
     def clear_memory(self):
         """Drop the in-process tier (disk entries survive)."""
         if self._memory is not None:
-            self._memory.clear()
+            with self._memory_lock:
+                self._memory.clear()
 
     def stats(self):
-        """Counters: memory/disk hits, misses, quarantines, producer retries."""
+        """Every counter the cache keeps, as one flat dict.
+
+        This is the *single* stats surface: :class:`~repro.robustness.
+        report.RunReport` embeds it verbatim and the serving layer's
+        ``/statsz`` endpoint returns it verbatim — consumers must not
+        re-derive counters from cache internals.
+        """
         return {
             **self.hits,
             "misses": self.misses,
             "quarantined": self.quarantined,
             "producer_retries": self.producer_retries,
+            "evictions": self.evictions,
+            "memory_entries": (
+                len(self._memory) if self._memory is not None else 0
+            ),
+            "memory_cap": self.memory_items,
         }
 
     def __repr__(self):

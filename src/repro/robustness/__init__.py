@@ -52,7 +52,12 @@ from repro.robustness.faults import (
     active_schedule,
     parse_faults,
 )
-from repro.robustness.report import CellRecord, RunReport
+from repro.robustness.report import (
+    CellRecord,
+    RunReport,
+    cache_eventful,
+    render_cache_stats,
+)
 from repro.robustness.scheduler import (
     Tile,
     auto_workers,
@@ -93,6 +98,7 @@ __all__ = [
     "WorkerCrashError",
     "active_schedule",
     "auto_workers",
+    "cache_eventful",
     "decode_outcome",
     "encode_outcome",
     "has_fork",
@@ -100,6 +106,7 @@ __all__ = [
     "merge_outcomes",
     "merge_wear",
     "parse_faults",
+    "render_cache_stats",
     "resolve_backoff",
     "resolve_retries",
     "resolve_tile_trials",

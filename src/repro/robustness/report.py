@@ -13,7 +13,37 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["CellRecord", "RunReport"]
+__all__ = ["CellRecord", "RunReport", "cache_eventful", "render_cache_stats"]
+
+#: Cache counters whose nonzero value means "something anomalous
+#: happened" (rot healed, producers retried) — as opposed to ordinary
+#: traffic counters (hits, misses, LRU evictions).
+CACHE_EVENT_COUNTERS = ("quarantined", "producer_retries")
+
+
+def cache_eventful(stats):
+    """Whether a :meth:`~repro.plan.cache.PlanArtifactCache.stats` dict
+    records anything beyond ordinary hit/miss traffic.
+
+    The one shared predicate: :class:`RunReport`, the CLI, and the
+    serving layer all consume the cache's ``stats()`` dict through this
+    (and :func:`render_cache_stats`) instead of each re-deriving which
+    counters matter.
+    """
+    return any(stats.get(counter, 0) for counter in CACHE_EVENT_COUNTERS)
+
+
+def render_cache_stats(stats):
+    """One-line human summary of a cache ``stats()`` dict."""
+    line = (
+        f"hits={stats.get('memory', 0) + stats.get('disk', 0)}"
+        f" misses={stats.get('misses', 0)}"
+        f" quarantined={stats.get('quarantined', 0)}"
+        f" producer_retries={stats.get('producer_retries', 0)}"
+    )
+    if stats.get("evictions", 0):
+        line += f" evictions={stats['evictions']}"
+    return line
 
 #: Cell statuses in severity order (render order for anomalies).
 #: ``cached`` means every evaluation tile of the cell was served from
@@ -84,8 +114,7 @@ class RunReport:
         return (
             any(cell.status != "ok" for cell in self.cells)
             or self.checkpoint_errors > 0
-            or self.cache.get("quarantined", 0) > 0
-            or self.cache.get("producer_retries", 0) > 0
+            or cache_eventful(self.cache)
         )
 
     def to_json(self):
@@ -116,10 +145,7 @@ class RunReport:
             )
         cache = ""
         if self.cache:
-            cache = (
-                f" | cache: quarantined={self.cache.get('quarantined', 0)}"
-                f" producer_retries={self.cache.get('producer_retries', 0)}"
-            )
+            cache = f" | cache: {render_cache_stats(self.cache)}"
         checkpoint = (
             f" checkpoint_errors={self.checkpoint_errors}"
             if self.checkpoint_errors else ""

@@ -1,0 +1,54 @@
+"""Plan serving: the reproduction's first traffic-facing layer.
+
+``repro.serve`` turns resolved :class:`~repro.plan.engine.
+SelectionPlan`\\ s from a script output into a served product: a
+stdlib-only asyncio HTTP service over :class:`~repro.plan.engine.
+PlanEngine` / :class:`~repro.plan.cache.PlanArtifactCache` that
+answers "which weights do I verify at budget b for model X /
+technology Y / read_time t?" at memory-lookup speed once a plan is
+warm.
+
+The perf contract, in one sentence each:
+
+- **warm-path fast serving** — a cache hit replays stored canonical
+  bytes and never constructs an engine resolution (the
+  ``engine_resolutions`` tripwire counter proves it);
+- **single-flight coalescing** — N identical concurrent requests
+  collapse into one resolution, keyed by the same content digest the
+  cache uses;
+- **bounded memory** — the cache's LRU cap (``REPRO_CACHE_MEM_ITEMS``)
+  and fixed-size latency windows keep a long-lived server's RSS flat.
+
+Entry points: ``runner serve`` / ``python -m repro.serve`` (the CLI),
+:class:`PlanService` + :class:`PlanHTTPServer` (embedding),
+:class:`PlanClient` (consumers), ``benchmarks/bench_serving.py`` (the
+load benchmark behind ``BENCH_serving.json``).
+"""
+
+from repro.serve.client import PlanClient, PlanClientError, PlanResponse
+from repro.serve.codec import (
+    PlanRequestError,
+    parse_plan_request,
+    plan_bytes,
+    plan_config,
+)
+from repro.serve.http import DEFAULT_PORT, PlanHTTPServer
+from repro.serve.service import LatencyWindow, PlanService, ServedPlan
+from repro.serve.cli import run, serve_main
+
+__all__ = [
+    "DEFAULT_PORT",
+    "LatencyWindow",
+    "PlanClient",
+    "PlanClientError",
+    "PlanHTTPServer",
+    "PlanRequestError",
+    "PlanResponse",
+    "PlanService",
+    "ServedPlan",
+    "parse_plan_request",
+    "plan_bytes",
+    "plan_config",
+    "run",
+    "serve_main",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.serve`` — the plan-serving CLI."""
+
+import sys
+
+from repro.serve.cli import run
+
+if __name__ == "__main__":
+    sys.exit(run())

@@ -1,0 +1,130 @@
+"""``runner serve``: stand up the plan-serving service from the CLI.
+
+Usage (also reachable as ``python -m repro.serve``)::
+
+    python -m repro.experiments.runner serve --scale smoke --port 8321
+    python -m repro.experiments.runner serve --workload lenet-digits \\
+        --port 0            # ephemeral port, printed at startup
+
+Startup/shutdown speak the same exit-code taxonomy as every other
+entry point (:mod:`repro.robustness.errors`): a bad workload, port, or
+worker count exits 64; an unbindable address or unwritable cache exits
+74; a forced (double-signal) shutdown exits 75; a drained shutdown
+exits 0.
+
+Knobs: ``--port``/``--host``, ``--workers`` (cold-resolution threads;
+``0`` = auto, via the same :func:`~repro.robustness.scheduler.
+resolve_worker_count` semantics as every other worker knob) and
+``REPRO_CACHE_MEM_ITEMS`` (LRU cap on the cache's memory tier — the
+knob that bounds a long-lived server's RSS).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+from repro.robustness.errors import ReproError, ScenarioConfigError
+from repro.robustness.report import render_cache_stats
+from repro.robustness.scheduler import resolve_worker_count
+from repro.serve.http import DEFAULT_PORT, PlanHTTPServer
+from repro.serve.service import PlanService
+
+__all__ = ["run", "serve_main"]
+
+
+def build_service(workload="lenet-digits", scale=None, resolve_workers=1,
+                  cache=None):
+    """Load a workload and wire a :class:`PlanService` over it.
+
+    Mirrors the orchestrator's engine construction (sense set = the
+    scale's training-subset slice, curvature batch size capped at 256)
+    so served plans are the ones a scenario run would compute.
+    """
+    from repro.experiments.config import get_scale
+    from repro.experiments.model_zoo import load_workload
+    from repro.plan import PlanArtifactCache, PlanEngine
+
+    scale = get_scale(scale) if not hasattr(scale, "workloads") else scale
+    try:
+        spec = scale.workload(workload)
+    except KeyError as exc:
+        raise ScenarioConfigError(
+            f"unknown workload {workload!r}; available: "
+            f"{sorted(scale.workloads)}"
+        ) from exc
+    zoo = load_workload(spec)
+    engine = PlanEngine(
+        zoo.model,
+        zoo.data.train_x[:scale.sense_samples],
+        zoo.data.train_y[:scale.sense_samples],
+        workload=zoo.spec.key,
+        cache=cache if cache is not None else PlanArtifactCache(),
+        curvature_batch_size=min(256, int(scale.sense_samples)),
+    )
+    return PlanService(engine, resolve_workers=resolve_workers)
+
+
+async def _serve(server, announce):
+    await server.start()
+    announce(server)
+    return await server.run()
+
+
+def serve_main(argv=None):
+    """Parse flags, build the service, serve until signaled."""
+    parser = argparse.ArgumentParser(
+        prog="runner serve",
+        description="Serve selection plans over HTTP (POST /v1/plan, "
+                    "GET /v1/plan/<key>, /healthz, /statsz).",
+    )
+    parser.add_argument("--workload", default="lenet-digits",
+                        help="model-zoo workload to serve plans for")
+    parser.add_argument("--scale", default=None,
+                        help="smoke | default | full (or REPRO_SCALE)")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: loopback)")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT,
+                        help=f"bind port (default {DEFAULT_PORT}; 0 = "
+                             "ephemeral, printed at startup)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="cold-resolution worker threads (or "
+                             "REPRO_WORKERS); 0 = auto-size to the core "
+                             "count; default 1 — warm serving never "
+                             "queues behind resolutions either way")
+    args = parser.parse_args(argv)
+
+    workers = resolve_worker_count(args.workers, "REPRO_WORKERS", "workers")
+    service = build_service(
+        workload=args.workload, scale=args.scale,
+        resolve_workers=workers if workers is not None else 1,
+    )
+    server = PlanHTTPServer(service, host=args.host, port=args.port)
+
+    def announce(bound):
+        health = service.healthz()
+        print(f"# plan-serving {health['workload']} "
+              f"(model {health['model']}, cache v{health['cache_version']})")
+        print(f"[serving http://{bound.host}:{bound.port}]", flush=True)
+
+    code = asyncio.run(_serve(server, announce))
+    stats = service.stats()
+    counts = stats["requests"]
+    print(f"[drained: served {counts['requests']} plan request(s) "
+          f"(warm={counts['warm']} cold={counts['cold']} "
+          f"coalesced={counts['coalesced']}) | cache: "
+          f"{render_cache_stats(stats['cache'])}]")
+    return code
+
+
+def run(argv=None):
+    """``serve_main`` behind the taxonomy: one-line errors, typed codes."""
+    try:
+        return serve_main(argv)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return exc.exit_code
+    except OSError as exc:
+        print(f"error: cannot serve: {exc}", file=sys.stderr)
+        return 74

@@ -1,0 +1,168 @@
+"""Tiny stdlib client for the plan-serving service.
+
+``http.client`` only — a consumer of served plans should not need the
+reproduction installed, let alone its numeric stack; this module's only
+repro import is the error taxonomy.  One keep-alive connection per
+client, transparently re-opened when the server (or a drain) closes it.
+
+Example::
+
+    from repro.serve.client import PlanClient
+
+    with PlanClient(port=8321) as client:
+        served = client.plan({"technology": "pcm", "read_time": 3.6e3})
+        counts = dict(zip(served.plan["nwc_targets"], served.plan["counts"]))
+        again = client.fetch(served.key)      # warm, byte-identical
+        assert again.data == served.data
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from http.client import HTTPConnection, HTTPException
+
+from repro.robustness.errors import ReproError
+
+__all__ = ["PlanClient", "PlanClientError", "PlanResponse"]
+
+
+class PlanClientError(ReproError):
+    """A non-2xx (or transport-failed) service response.
+
+    Carries the HTTP ``status`` (None when the transport itself
+    failed); retryable is left False — the caller knows whether its
+    request is safe to repeat.
+    """
+
+    def __init__(self, message, status=None):
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass(frozen=True)
+class PlanResponse:
+    """One served plan: canonical bytes plus the serving headers."""
+
+    data: bytes
+    key: str
+    source: str
+
+    @property
+    def plan(self):
+        """The plan as a dict (``SelectionPlan.to_json`` layout)."""
+        return json.loads(self.data.decode("utf-8"))
+
+
+class PlanClient:
+    """Talks to one :class:`~repro.serve.http.PlanHTTPServer`."""
+
+    def __init__(self, host="127.0.0.1", port=8321, timeout=60.0):
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+        self._conn = None
+
+    # ---------------------------------------------------------------- plumbing
+
+    def _request(self, method, path, body=None):
+        """One round trip: ``(status, lowercase headers, body bytes)``.
+
+        Retries exactly once on a dead keep-alive connection (the
+        server may have drained between requests); a failure on a
+        fresh connection is the caller's problem.
+        """
+        headers = {"Content-Type": "application/json"} if body else {}
+        for attempt in (1, 2):
+            if self._conn is None:
+                self._conn = HTTPConnection(
+                    self.host, self.port, timeout=self.timeout
+                )
+            try:
+                self._conn.request(method, path, body=body, headers=headers)
+                response = self._conn.getresponse()
+                data = response.read()
+            except (HTTPException, ConnectionError, OSError) as exc:
+                self.close()
+                if attempt == 2:
+                    raise PlanClientError(
+                        f"{method} {path} failed: {exc}"
+                    ) from exc
+                continue
+            if response.will_close:
+                self.close()
+            return (
+                response.status,
+                {name.lower(): value for name, value in response.getheaders()},
+                data,
+            )
+
+    @staticmethod
+    def _error_line(status, data):
+        try:
+            message = json.loads(data.decode("utf-8")).get("error", "")
+        except (UnicodeDecodeError, ValueError):
+            message = data[:200].decode("utf-8", "replace")
+        return f"HTTP {status}: {message}"
+
+    def _json(self, path):
+        status, _, data = self._request("GET", path)
+        if status != 200:
+            raise PlanClientError(self._error_line(status, data), status=status)
+        return json.loads(data.decode("utf-8"))
+
+    # ------------------------------------------------------------------- API
+
+    def plan(self, request=None, **fields):
+        """``POST /v1/plan``; returns a :class:`PlanResponse`.
+
+        ``request`` is the JSON body as a dict (or pass fields as
+        keyword arguments).  Raises :class:`PlanClientError` on any
+        non-200 — a 400's single-line reason is the exception message.
+        """
+        payload = dict(request or {})
+        payload.update(fields)
+        status, headers, data = self._request(
+            "POST", "/v1/plan", body=json.dumps(payload).encode("utf-8")
+        )
+        if status != 200:
+            raise PlanClientError(self._error_line(status, data), status=status)
+        return PlanResponse(
+            data=data,
+            key=headers.get("x-plan-key", ""),
+            source=headers.get("x-plan-source", ""),
+        )
+
+    def fetch(self, key):
+        """``GET /v1/plan/<key>``; a :class:`PlanResponse`, or None on 404."""
+        status, headers, data = self._request("GET", f"/v1/plan/{key}")
+        if status == 404:
+            return None
+        if status != 200:
+            raise PlanClientError(self._error_line(status, data), status=status)
+        return PlanResponse(
+            data=data,
+            key=headers.get("x-plan-key", key),
+            source=headers.get("x-plan-source", "warm"),
+        )
+
+    def healthz(self):
+        """``GET /healthz`` as a dict."""
+        return self._json("/healthz")
+
+    def statsz(self):
+        """``GET /statsz`` as a dict (counters, cache stats, latency)."""
+        return self._json("/statsz")
+
+    def close(self):
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            finally:
+                self._conn = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()

@@ -1,0 +1,227 @@
+"""Wire codec for the plan-serving service.
+
+Three jobs, all deliberately boring:
+
+- **request parsing** (:func:`parse_plan_request`): a ``POST /v1/plan``
+  JSON body becomes a :class:`~repro.plan.engine.PlanRequest`, with
+  every field validated up front so a malformed request dies as one
+  HTTP 400 line instead of a stack trace halfway through an engine
+  resolution.
+- **content addressing** (:func:`plan_config`): the canonical config
+  dict whose :meth:`~repro.plan.cache.PlanArtifactCache.key` is *the*
+  identity of a served plan.  It folds in everything that determines
+  the plan bytes — model digest, sense digest, the engine's curvature
+  batch size, and the request's physics — so the warm cache, the
+  single-flight coalescing map, and the ``GET /v1/plan/<key>`` fetch
+  all agree on one key and can never serve each other stale data.
+- **plan serialization** (:func:`plan_bytes` + the artifact codec):
+  a resolved :class:`~repro.plan.engine.SelectionPlan` is canonical
+  JSON (sorted keys, no whitespace), and the ``plan`` cache artifact
+  stores *those bytes* verbatim.  Warm responses are therefore
+  byte-identical to cold ones by construction — the server never
+  re-serializes on the warm path, it replays.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+import numpy as np
+
+from repro.core.metrics import DEFAULT_NWC_TARGETS
+from repro.plan.engine import PLANNED_METHODS, PlanRequest
+from repro.robustness.errors import ScenarioConfigError
+
+__all__ = [
+    "PlanRequestError",
+    "decode_plan_bytes",
+    "encode_plan_bytes",
+    "is_plan_key",
+    "parse_plan_request",
+    "plan_bytes",
+    "plan_config",
+]
+
+#: Shape of a cache key as it appears in ``GET /v1/plan/<key>`` —
+#: :func:`repro.plan.cache.artifact_key` emits 32 lowercase hex chars.
+_KEY_PATTERN = re.compile(r"^[0-9a-f]{32}$")
+
+#: Name of the single array inside a ``plan`` cache artifact: the
+#: canonical JSON bytes of the resolved plan.
+_PLAN_ARRAY = "plan_json"
+
+
+class PlanRequestError(ScenarioConfigError):
+    """A malformed ``/v1/plan`` request body (served as HTTP 400).
+
+    A :class:`~repro.robustness.errors.ScenarioConfigError`, so the
+    same failure raised outside the HTTP layer (e.g. from a script
+    building requests) exits with the usage code 64.
+    """
+
+
+def is_plan_key(text):
+    """Whether ``text`` is shaped like a cache key (32 hex chars)."""
+    return bool(_KEY_PATTERN.match(text or ""))
+
+
+def _field(data, name, kinds, default, what):
+    value = data.get(name, default)
+    if value is not None and not isinstance(value, kinds):
+        raise PlanRequestError(f"{name} must be {what}, got {value!r}")
+    return value
+
+
+def _number(data, name, default=None, minimum=None):
+    value = _field(data, name, (int, float), default, "a number")
+    if isinstance(value, bool):
+        raise PlanRequestError(f"{name} must be a number, got {value!r}")
+    if value is not None and minimum is not None and value < minimum:
+        raise PlanRequestError(f"{name} must be >= {minimum}, got {value!r}")
+    return value
+
+
+def _integer(data, name, default, minimum=1):
+    value = data.get(name, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise PlanRequestError(f"{name} must be an integer, got {value!r}")
+    if value < minimum:
+        raise PlanRequestError(f"{name} must be >= {minimum}, got {value!r}")
+    return value
+
+
+_FIELDS = (
+    "methods", "nwc_targets", "technology", "sigma", "read_time",
+    "weight_bits", "device_bits", "curvature_batches", "wear_inflation",
+    "wear_consumed",
+)
+
+
+def parse_plan_request(body):
+    """A ``POST /v1/plan`` JSON body as a validated :class:`PlanRequest`.
+
+    Every failure mode — non-JSON body, unknown fields, wrong types,
+    unplannable methods, unregistered technology, missing physics —
+    raises :class:`PlanRequestError` with a single-line message.
+    """
+    try:
+        data = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise PlanRequestError(
+            f"request body is not valid JSON: {str(exc).splitlines()[0]}"
+        ) from exc
+    if not isinstance(data, dict):
+        raise PlanRequestError(
+            f"request body must be a JSON object, got {type(data).__name__}"
+        )
+    unknown = sorted(set(data) - set(_FIELDS))
+    if unknown:
+        raise PlanRequestError(
+            f"unknown request field(s) {unknown}; allowed: {sorted(_FIELDS)}"
+        )
+
+    methods = _field(data, "methods", (list, tuple),
+                     list(PLANNED_METHODS), "a list of method names")
+    if not methods:
+        raise PlanRequestError("methods must not be empty")
+    unplanned = sorted(set(methods) - set(PLANNED_METHODS))
+    if unplanned:
+        raise PlanRequestError(
+            f"method(s) {unplanned} have no deterministic plan; plannable: "
+            f"{list(PLANNED_METHODS)}"
+        )
+
+    targets = _field(data, "nwc_targets", (list, tuple),
+                     list(DEFAULT_NWC_TARGETS), "a list of budgets in [0, 1]")
+    if not targets:
+        raise PlanRequestError("nwc_targets must not be empty")
+    for target in targets:
+        if isinstance(target, bool) or not isinstance(target, (int, float)) \
+                or not 0.0 <= target <= 1.0:
+            raise PlanRequestError(
+                f"nwc_targets entries must be numbers in [0, 1], got "
+                f"{target!r}"
+            )
+
+    technology = _field(data, "technology", (str,), None,
+                        "a registered technology name")
+    if technology is not None:
+        from repro.cim import resolve_technology
+
+        try:
+            resolve_technology(technology)
+        except KeyError as exc:
+            raise PlanRequestError(
+                f"unknown technology {technology!r}"
+            ) from exc
+
+    sigma = _number(data, "sigma", minimum=0.0)
+    if technology is None and sigma is None:
+        raise PlanRequestError(
+            "request must set a technology or an explicit sigma"
+        )
+
+    return PlanRequest(
+        methods=tuple(str(m) for m in methods),
+        nwc_targets=tuple(float(t) for t in targets),
+        technology=technology,
+        sigma=None if sigma is None else float(sigma),
+        read_time=_number(data, "read_time", minimum=0.0),
+        weight_bits=_integer(data, "weight_bits", 4),
+        device_bits=_integer(data, "device_bits", 4),
+        curvature_batches=_integer(data, "curvature_batches", 2),
+        wear_inflation=float(_number(data, "wear_inflation", 1.0, minimum=0.0)),
+        wear_consumed=_number(data, "wear_consumed", minimum=0.0),
+    )
+
+
+def plan_config(engine, request):
+    """The canonical content address of one served plan.
+
+    Mirrors the request canonicalization of :meth:`~repro.plan.
+    orchestrator.ScenarioOrchestrator._cell_config` (technology through
+    ``to_dict``, budgets as floats) plus the engine parameters that
+    shape the result (model/sense digests, curvature batch size), so
+    two servers over the same model agree on every key.
+    """
+    technology = request.technology
+    if technology is not None:
+        from repro.cim import resolve_technology
+
+        technology = resolve_technology(technology).to_dict()
+    return {
+        "model": engine._model_digest,
+        "sense": engine._sense_digest,
+        "workload": engine.workload,
+        "curvature_batch_size": int(engine.curvature_batch_size),
+        "request": {
+            "methods": list(request.methods),
+            "nwc_targets": [float(t) for t in request.nwc_targets],
+            "technology": technology,
+            "sigma": request.sigma,
+            "read_time": request.read_time,
+            "weight_bits": int(request.weight_bits),
+            "device_bits": int(request.device_bits),
+            "curvature_batches": int(request.curvature_batches),
+            "wear_inflation": float(request.wear_inflation),
+            "wear_consumed": request.wear_consumed,
+        },
+    }
+
+
+def plan_bytes(plan):
+    """A resolved plan as canonical JSON bytes (the response body)."""
+    return json.dumps(
+        plan.to_json(), sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def encode_plan_bytes(data):
+    """Plan bytes as a cacheable ``name -> array`` artifact dict."""
+    return {_PLAN_ARRAY: np.frombuffer(data, dtype=np.uint8).copy()}
+
+
+def decode_plan_bytes(arrays):
+    """The stored canonical plan bytes of one ``plan`` artifact."""
+    return arrays[_PLAN_ARRAY].tobytes()

@@ -1,0 +1,236 @@
+"""The transport-independent plan-serving core.
+
+:class:`PlanService` answers "which weights do I verify at budget b?"
+at three speeds, from one content-addressed key space:
+
+- **warm** — the plan artifact is already in the
+  :class:`~repro.plan.cache.PlanArtifactCache`: the response is the
+  stored canonical bytes, served without constructing *any*
+  :class:`~repro.plan.engine.PlanEngine` resolution.  The
+  ``engine_resolutions`` counter is the tripwire: it must not move on
+  warm traffic (the serving tests pin this).
+- **cold** — a full miss: the request resolves through the engine on a
+  worker thread (the asyncio event loop keeps serving warm hits
+  meanwhile), and the resulting bytes are stored before fan-out.
+- **coalesced** — the request's key is already being resolved:
+  instead of a second engine pass, the request awaits the in-flight
+  resolution's future.  The single-flight map is keyed by the *same*
+  content key the cache uses (:func:`~repro.serve.codec.plan_config`),
+  so coalescing and caching can never disagree about request identity:
+  N identical concurrent requests cost exactly one resolution.
+
+Memory stays bounded under serving load: the cache's LRU cap
+(``REPRO_CACHE_MEM_ITEMS``) bounds the artifact tier, and latency
+samples live in fixed-size windows (:class:`LatencyWindow`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.serve.codec import (
+    decode_plan_bytes,
+    encode_plan_bytes,
+    is_plan_key,
+    parse_plan_request,
+    plan_bytes,
+    plan_config,
+)
+
+__all__ = ["LatencyWindow", "PlanService", "ServedPlan"]
+
+#: The artifact kind under which served plans live in the cache.
+PLAN_KIND = "plan"
+
+
+class LatencyWindow:
+    """Fixed-size latency sample window with on-demand percentiles.
+
+    Serving load must not grow RSS without bound, so the window keeps
+    the most recent ``maxlen`` samples (plus a lifetime count) and
+    computes p50/p99 by sorting on demand — ``/statsz`` is rare next to
+    request traffic.
+    """
+
+    def __init__(self, maxlen=2048):
+        self._samples = deque(maxlen=int(maxlen))
+        self.count = 0
+
+    def record(self, seconds):
+        self._samples.append(float(seconds))
+        self.count += 1
+
+    def percentile(self, p):
+        """The ``p``-th percentile (0-100) of the windowed samples."""
+        if not self._samples:
+            return None
+        ordered = sorted(self._samples)
+        index = round((p / 100.0) * (len(ordered) - 1))
+        return ordered[int(index)]
+
+    def summary(self):
+        """``{"count", "p50_ms", "p99_ms"}`` for ``/statsz``."""
+        p50, p99 = self.percentile(50), self.percentile(99)
+        return {
+            "count": self.count,
+            "p50_ms": None if p50 is None else round(1e3 * p50, 4),
+            "p99_ms": None if p99 is None else round(1e3 * p99, 4),
+        }
+
+
+@dataclass(frozen=True)
+class ServedPlan:
+    """One served response: canonical plan bytes plus provenance.
+
+    ``source`` is ``"warm"`` (cache hit, no engine), ``"cold"`` (this
+    request paid the engine resolution) or ``"coalesced"`` (rode an
+    in-flight resolution); ``key`` is the content address a client can
+    re-fetch the plan at via ``GET /v1/plan/<key>``.
+    """
+
+    data: bytes
+    key: str
+    source: str
+
+
+class PlanService:
+    """Serves :class:`~repro.plan.engine.SelectionPlan`\\ s over one model.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`~repro.plan.engine.PlanEngine` cold requests
+        resolve through; its cache is the serving store.
+    resolve_workers:
+        Threads in the cold-resolution executor.  Default 1: engine
+        resolutions serialize (they share cache stages), which also
+        maximizes stage reuse; the event loop stays free either way.
+    """
+
+    def __init__(self, engine, resolve_workers=1):
+        self.engine = engine
+        self.cache = engine.cache
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(1, int(resolve_workers)),
+            thread_name_prefix="plan-resolve",
+        )
+        self._inflight = {}  # content key -> asyncio.Task resolving it
+        self.counters = {
+            "requests": 0,
+            "warm": 0,
+            "cold": 0,
+            "coalesced": 0,
+            "fetch_hits": 0,
+            "fetch_misses": 0,
+            "bad_requests": 0,
+            "engine_resolutions": 0,  # the warm-path tripwire
+        }
+        self.latency = {
+            "warm": LatencyWindow(),
+            "cold": LatencyWindow(),
+            "coalesced": LatencyWindow(),
+        }
+
+    # ---------------------------------------------------------------- serving
+
+    async def plan(self, body):
+        """Serve one ``POST /v1/plan`` body; returns :class:`ServedPlan`.
+
+        Raises :class:`~repro.serve.codec.PlanRequestError` on a
+        malformed body (the HTTP layer maps it to 400).
+        """
+        start = time.perf_counter()
+        try:
+            request = parse_plan_request(body)
+        except Exception:
+            self.counters["bad_requests"] += 1
+            raise
+        config = plan_config(self.engine, request)
+        key = self.cache.key(PLAN_KIND, config)
+
+        arrays = self.cache.lookup(PLAN_KIND, key)
+        if arrays is not None:
+            source, data = "warm", decode_plan_bytes(arrays)
+        else:
+            task = self._inflight.get(key)
+            if task is not None:
+                source = "coalesced"
+            else:
+                source = "cold"
+                task = asyncio.get_running_loop().create_task(
+                    self._resolve_async(request, config)
+                )
+                self._inflight[key] = task
+                task.add_done_callback(
+                    lambda _done, key=key: self._inflight.pop(key, None)
+                )
+            data = await task
+
+        self.counters["requests"] += 1
+        self.counters[source] += 1
+        self.latency[source].record(time.perf_counter() - start)
+        return ServedPlan(data=data, key=key, source=source)
+
+    async def _resolve_async(self, request, config):
+        return await asyncio.get_running_loop().run_in_executor(
+            self._executor, self._resolve, request, config
+        )
+
+    def _resolve(self, request, config):
+        # The only line in the serving layer that touches the engine:
+        # the tripwire counter and the resolution are inseparable.
+        self.counters["engine_resolutions"] += 1
+        data = plan_bytes(self.engine.plan(request))
+        self.cache.put(PLAN_KIND, config, encode_plan_bytes(data))
+        return data
+
+    def fetch(self, key):
+        """``GET /v1/plan/<key>``: content-addressed warm fetch.
+
+        Pure cache lookup — a miss returns None (HTTP 404), never a
+        resolution; an ill-shaped key is a miss by definition.
+        """
+        arrays = self.cache.lookup(PLAN_KIND, key) if is_plan_key(key) else None
+        if arrays is None:
+            self.counters["fetch_misses"] += 1
+            return None
+        self.counters["fetch_hits"] += 1
+        return decode_plan_bytes(arrays)
+
+    # -------------------------------------------------------------- plumbing
+
+    def healthz(self):
+        """Liveness payload: the model being served and its key space."""
+        return {
+            "status": "ok",
+            "workload": self.engine.workload,
+            "model": self.engine._model_digest,
+            "cache_version": self.cache.version,
+        }
+
+    def stats(self):
+        """``/statsz`` payload.
+
+        The ``cache`` section is :meth:`~repro.plan.cache.
+        PlanArtifactCache.stats` verbatim — the same dict
+        :class:`~repro.robustness.report.RunReport` embeds, one shared
+        code path for hit/miss/quarantine counters.
+        """
+        return {
+            "requests": dict(self.counters),
+            "in_flight_coalesced": len(self._inflight),
+            "engine": dict(self.engine.stats),
+            "cache": self.cache.stats(),
+            "latency_ms": {
+                source: window.summary()
+                for source, window in self.latency.items()
+            },
+        }
+
+    def close(self):
+        """Shut the resolution executor down (after the HTTP drain)."""
+        self._executor.shutdown(wait=True)

@@ -168,6 +168,86 @@ class TestBackends:
         assert fresh.get("order", CONFIG) is None
 
 
+class TestMemoryLRU:
+    """The bounded memory tier: REPRO_CACHE_MEM_ITEMS / memory_items."""
+
+    def _configs(self, n):
+        return [{**CONFIG, "read_time": float(i)} for i in range(n)]
+
+    def test_unbounded_by_default(self, tmp_path):
+        cache = PlanArtifactCache(root=str(tmp_path))
+        for config in self._configs(12):
+            cache.put("order", config, {"order": np.arange(3)})
+        assert cache.memory_items == 0
+        assert cache.stats()["evictions"] == 0
+        assert cache.stats()["memory_entries"] == 12
+
+    def test_eviction_round_trips_through_disk_bitwise(self, tmp_path):
+        """An evicted entry is a disk hit, not a recompute, bit-for-bit."""
+        rng = np.random.default_rng(11)
+        cache = PlanArtifactCache(root=str(tmp_path), memory_items=2)
+        configs = self._configs(3)
+        payloads = [
+            {"order": rng.permutation(64), "scores": rng.normal(size=64)}
+            for _ in configs
+        ]
+        for config, payload in zip(configs, payloads):
+            cache.put("order", config, payload)
+        stats = cache.stats()
+        assert stats["evictions"] == 1
+        assert stats["memory_entries"] == 2
+        assert stats["memory_cap"] == 2
+
+        calls = []
+        arrays = cache.get_or_create(
+            "order", configs[0], lambda: calls.append(1)
+        )
+        assert calls == []  # served from disk, producer never ran
+        assert cache.stats()["disk"] == 1
+        for name in payloads[0]:
+            assert np.array_equal(arrays[name], payloads[0][name])
+            assert arrays[name].dtype == payloads[0][name].dtype
+
+    def test_lru_evicts_least_recently_used(self, tmp_path):
+        cache = PlanArtifactCache(root=str(tmp_path), memory_items=2)
+        first, second, third = self._configs(3)
+        cache.put("order", first, {"order": np.arange(1)})
+        cache.put("order", second, {"order": np.arange(2)})
+        cache.get("order", first)  # refresh: second is now the LRU entry
+        cache.put("order", third, {"order": np.arange(3)})
+        with cache._memory_lock:
+            keys = set(cache._memory)
+        assert cache.key("order", first) in keys
+        assert cache.key("order", second) not in keys
+        assert cache.key("order", third) in keys
+
+    def test_env_cap_and_validation(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_MEM_ITEMS", "1")
+        cache = PlanArtifactCache(root=str(tmp_path))
+        for config in self._configs(3):
+            cache.put("order", config, {"order": np.arange(2)})
+        assert cache.memory_items == 1
+        assert cache.stats()["evictions"] == 2
+
+        monkeypatch.setenv("REPRO_CACHE_MEM_ITEMS", "nope")
+        with pytest.raises(ValueError):
+            PlanArtifactCache(root=str(tmp_path))
+        with pytest.raises(ValueError):
+            PlanArtifactCache(root=str(tmp_path), memory_items=-1)
+
+    def test_lookup_by_key_matches_get(self, tmp_path):
+        """lookup(kind, key) is get() minus the config hashing."""
+        cache = PlanArtifactCache(root=str(tmp_path))
+        cache.put("order", CONFIG, {"order": np.arange(5)})
+        key = cache.key("order", CONFIG)
+        assert np.array_equal(cache.lookup("order", key)["order"], np.arange(5))
+        fresh = PlanArtifactCache(root=str(tmp_path))
+        assert np.array_equal(
+            fresh.lookup("order", key)["order"], np.arange(5)
+        )
+        assert fresh.lookup("order", "0" * 32) is None
+
+
 @pytest.mark.parametrize("disk", [True, False])
 def test_cold_vs_warm_artifacts_bitwise(tmp_path, disk):
     """Whatever the producer emitted is returned bit-for-bit on warm hits."""

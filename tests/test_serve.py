@@ -1,0 +1,450 @@
+"""The plan-serving layer's three contracts, end to end.
+
+Warm-path fast serving (a cache hit never constructs an engine
+resolution — the ``engine_resolutions`` tripwire stays flat and the
+bytes are identical to a direct resolve), single-flight coalescing
+(K identical concurrent requests cost exactly one resolution), and a
+disciplined wire surface (single-line 400s, clean drain on the first
+signal, forced exit-75 on the second).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from types import SimpleNamespace
+
+import pytest
+
+from repro.plan import PlanArtifactCache, PlanEngine, PlanRequest
+from repro.robustness.errors import TransientFaultError
+from repro.serve import (
+    PlanClient,
+    PlanClientError,
+    PlanHTTPServer,
+    PlanRequestError,
+    PlanService,
+    parse_plan_request,
+    plan_bytes,
+)
+
+ONE_HOUR = 3.6e3
+ONE_MONTH = 2.592e6
+
+BODY = {
+    "methods": ["swim", "magnitude"],
+    "nwc_targets": [0.0, 0.5],
+    "technology": "pcm",
+    "read_time": ONE_MONTH,
+    "weight_bits": 4,
+}
+
+
+@pytest.fixture()
+def mini_zoo(trained_lenet):
+    """A ZooModel-shaped wrapper around the shared test LeNet."""
+    model, data, accuracy = trained_lenet
+    return SimpleNamespace(
+        model=model,
+        data=data,
+        clean_accuracy=accuracy,
+        spec=SimpleNamespace(key="lenet-test", weight_bits=4),
+    )
+
+
+def _engine(mini_zoo, sense=96, **cache_kwargs):
+    cache_kwargs.setdefault("disk", False)
+    return PlanEngine(
+        mini_zoo.model,
+        mini_zoo.data.train_x[:sense],
+        mini_zoo.data.train_y[:sense],
+        workload=mini_zoo.spec.key,
+        cache=PlanArtifactCache(**cache_kwargs),
+        curvature_batch_size=min(256, sense),
+    )
+
+
+def _body(**overrides):
+    payload = {**BODY, **overrides}
+    return json.dumps(payload).encode("utf-8")
+
+
+# --------------------------------------------------------------------- codec
+
+
+class TestCodec:
+    def test_parse_round_trip(self):
+        request = parse_plan_request(_body())
+        assert isinstance(request, PlanRequest)
+        assert request.methods == ("swim", "magnitude")
+        assert request.nwc_targets == (0.0, 0.5)
+        assert request.technology == "pcm"
+        assert request.read_time == ONE_MONTH
+        assert request.weight_bits == 4
+
+    @pytest.mark.parametrize("body", [
+        b"not json",
+        b"[1, 2]",
+        json.dumps({**BODY, "frobnicate": 1}).encode(),
+        json.dumps({**BODY, "methods": ["random"]}).encode(),
+        json.dumps({**BODY, "nwc_targets": [1.5]}).encode(),
+        json.dumps({"methods": ["swim"], "read_time": ONE_HOUR}).encode(),
+        json.dumps({**BODY, "weight_bits": 0}).encode(),
+    ])
+    def test_malformed_bodies_raise_single_line(self, body):
+        with pytest.raises(PlanRequestError) as excinfo:
+            parse_plan_request(body)
+        assert "\n" not in str(excinfo.value)
+
+
+# ------------------------------------------------------------------- service
+
+
+class TestPlanService:
+    def test_coalescing_single_flight(self, mini_zoo):
+        """K identical concurrent requests: exactly one engine resolution."""
+        service = PlanService(_engine(mini_zoo))
+        try:
+            async def burst():
+                return await asyncio.gather(
+                    *(service.plan(_body()) for _ in range(8))
+                )
+
+            served = asyncio.run(burst())
+        finally:
+            service.close()
+
+        assert service.counters["engine_resolutions"] == 1
+        sources = sorted(plan.source for plan in served)
+        assert sources.count("cold") == 1
+        assert sources.count("coalesced") == 7
+        assert len({plan.data for plan in served}) == 1
+        assert len({plan.key for plan in served}) == 1
+        assert service.counters["requests"] == 8
+
+    def test_warm_path_is_passless_and_byte_identical(self, mini_zoo, tmp_path):
+        """A warm hit replays stored bytes without any engine pass."""
+        root = str(tmp_path / "serve-cache")
+        cold_service = PlanService(_engine(mini_zoo, disk=True, root=root))
+        try:
+            cold = asyncio.run(cold_service.plan(_body()))
+        finally:
+            cold_service.close()
+        assert cold.source == "cold"
+
+        # A fresh engine + service over the same cache root: the warm
+        # request must not touch the engine at all.
+        warm_service = PlanService(_engine(mini_zoo, disk=True, root=root))
+        try:
+            warm = asyncio.run(warm_service.plan(_body()))
+            assert warm.source == "warm"
+            assert warm.key == cold.key
+            assert warm.data == cold.data
+            assert warm_service.counters["engine_resolutions"] == 0
+            assert all(v == 0 for v in warm_service.engine.stats.values())
+
+            # ... and byte-identical to a direct PlanEngine resolution.
+            direct = _engine(mini_zoo).plan(parse_plan_request(_body()))
+            assert warm.data == plan_bytes(direct)
+
+            # fetch() replays the same bytes, also passlessly.
+            fetched = warm_service.fetch(warm.key)
+            assert fetched == warm.data
+            assert warm_service.fetch("0" * 32) is None
+            assert warm_service.fetch("not-a-key") is None
+            assert warm_service.counters["engine_resolutions"] == 0
+        finally:
+            warm_service.close()
+
+    def test_distinct_requests_do_not_coalesce(self, mini_zoo):
+        service = PlanService(_engine(mini_zoo))
+        try:
+            async def two():
+                return await asyncio.gather(
+                    service.plan(_body(read_time=ONE_HOUR)),
+                    service.plan(_body(read_time=ONE_MONTH)),
+                )
+
+            first, second = asyncio.run(two())
+        finally:
+            service.close()
+        assert first.key != second.key
+        assert service.counters["engine_resolutions"] == 2
+
+    def test_bad_request_counted_and_raised(self, mini_zoo):
+        service = PlanService(_engine(mini_zoo))
+        try:
+            with pytest.raises(PlanRequestError):
+                asyncio.run(service.plan(b"not json"))
+        finally:
+            service.close()
+        assert service.counters["bad_requests"] == 1
+        assert service.counters["requests"] == 0
+
+    def test_stats_shares_the_cache_code_path(self, mini_zoo):
+        """/statsz's cache section is PlanArtifactCache.stats verbatim."""
+        service = PlanService(_engine(mini_zoo))
+        try:
+            asyncio.run(service.plan(_body()))
+            asyncio.run(service.plan(_body()))
+            stats = service.stats()
+        finally:
+            service.close()
+        assert stats["cache"] == service.cache.stats()
+        assert stats["requests"]["warm"] == 1
+        assert stats["requests"]["cold"] == 1
+        assert stats["in_flight_coalesced"] == 0
+        warm = stats["latency_ms"]["warm"]
+        assert warm["count"] == 1 and warm["p50_ms"] is not None
+
+
+# ---------------------------------------------------------------------- HTTP
+
+
+class _ServerThread:
+    """Run a PlanHTTPServer on a daemon thread with an ephemeral port."""
+
+    def __init__(self, service):
+        self.server = PlanHTTPServer(service, port=0)
+        self._ready = threading.Event()
+        self._loop = None
+        self.result = None
+        self.error = None
+        self._thread = threading.Thread(target=self._main, daemon=True)
+
+    def _main(self):
+        async def serve():
+            await self.server.start()
+            self._loop = asyncio.get_running_loop()
+            self._ready.set()
+            return await self.server.run(install_signals=False)
+
+        try:
+            self.result = asyncio.run(serve())
+        except BaseException as exc:  # surfaced to the test thread
+            self.error = exc
+        finally:
+            self._ready.set()
+
+    def __enter__(self):
+        self._thread.start()
+        assert self._ready.wait(timeout=60), "server never came up"
+        if self.error is not None:
+            raise self.error
+        return self
+
+    def signal(self):
+        try:
+            self._loop.call_soon_threadsafe(self.server.request_shutdown)
+        except RuntimeError:
+            pass  # loop already closed — the server is already down
+
+    def join(self, timeout=60):
+        self._thread.join(timeout)
+        assert not self._thread.is_alive(), "server did not shut down"
+
+    def __exit__(self, *exc_info):
+        if self._thread.is_alive():
+            self.signal()
+            self._thread.join(timeout=30)
+        if self._thread.is_alive():
+            self.signal()  # escalate: force-abandon the drain
+            self._thread.join(timeout=60)
+
+    @property
+    def port(self):
+        return self.server.port
+
+
+class TestHTTP:
+    @pytest.fixture()
+    def served(self, mini_zoo):
+        service = PlanService(_engine(mini_zoo))
+        with _ServerThread(service) as running:
+            with PlanClient(port=running.port) as client:
+                yield SimpleNamespace(
+                    client=client, running=running, service=service
+                )
+
+    def test_round_trip_and_warm_fetch(self, served):
+        health = served.client.healthz()
+        assert health["status"] == "ok"
+        assert health["workload"] == "lenet-test"
+
+        response = served.client.plan(BODY)
+        assert response.source == "cold"
+        assert re.fullmatch(r"[0-9a-f]{32}", response.key)
+        assert response.plan["workload"] == "lenet-test"
+
+        again = served.client.plan(BODY)
+        assert again.source == "warm"
+        assert again.data == response.data
+
+        fetched = served.client.fetch(response.key)
+        assert fetched.source == "warm"
+        assert fetched.data == response.data
+        assert served.client.fetch("0" * 32) is None
+
+        stats = served.client.statsz()
+        assert stats["requests"]["engine_resolutions"] == 1
+        assert stats["requests"]["warm"] == 1
+        # The cold resolve missed the plan artifact plus the engine's
+        # stage artifacts; the warm hit added a memory hit, no misses.
+        assert stats["cache"]["misses"] >= 1
+        assert stats["cache"]["memory"] >= 1
+
+    def test_malformed_body_is_single_line_400(self, served):
+        with pytest.raises(PlanClientError) as excinfo:
+            served.client.plan({"methods": ["random"]})
+        assert excinfo.value.status == 400
+        message = str(excinfo.value)
+        assert "\n" not in message
+        assert "Traceback" not in message
+
+        with pytest.raises(PlanClientError) as excinfo:
+            served.client.plan({**BODY, "frobnicate": 1})
+        assert excinfo.value.status == 400
+
+    def test_routing_errors(self, served):
+        status, _, _ = served.client._request("GET", "/nope")
+        assert status == 404
+        status, _, _ = served.client._request("GET", "/v1/plan")
+        assert status == 405
+        status, _, _ = served.client._request("POST", "/healthz")
+        assert status == 405
+
+    def test_clean_drain_returns_zero(self, mini_zoo):
+        service = PlanService(_engine(mini_zoo))
+        with _ServerThread(service) as running:
+            with PlanClient(port=running.port) as client:
+                client.healthz()
+            running.signal()
+            running.join()
+        assert running.error is None
+        assert running.result == 0
+
+
+class TestForcedShutdown:
+    def test_second_signal_abandons_and_raises(self):
+        """A stuck in-flight request: drain hangs, second signal forces."""
+        class StuckService:
+            def __init__(self):
+                self.closed = False
+
+            async def plan(self, body):
+                await asyncio.sleep(3600)  # never finishes on its own
+
+            def healthz(self):
+                return {"status": "ok"}
+
+            def close(self):
+                self.closed = True
+
+        service = StuckService()
+        running = _ServerThread(service)
+        with running:
+            with PlanClient(port=running.port, timeout=5.0) as client:
+                # Fire the stuck request from a helper thread; it will
+                # die with a connection error when the server forces.
+                def doomed():
+                    try:
+                        client.plan(BODY)
+                    except PlanClientError:
+                        pass
+
+                poster = threading.Thread(target=doomed, daemon=True)
+                poster.start()
+                deadline = time.time() + 30
+                while running.server._inflight == 0:
+                    assert time.time() < deadline, "request never arrived"
+                    time.sleep(0.01)
+
+                running.signal()           # drain starts, hangs forever
+                time.sleep(0.1)
+                running.signal()           # force
+                running._thread.join(timeout=60)
+                poster.join(timeout=60)
+        assert running.result is None
+        assert isinstance(running.error, TransientFaultError)
+        assert running.error.exit_code == 75
+        assert "abandoned 1" in str(running.error)
+        assert service.closed
+
+
+# ----------------------------------------------------------------------- CLI
+
+
+def test_unknown_workload_exits_64(capsys):
+    from repro.experiments.runner import run
+
+    code = run(["serve", "--workload", "nope", "--scale", "smoke"])
+    assert code == 64
+    err = capsys.readouterr().err
+    assert err.startswith("error: ")
+    assert "Traceback" not in err
+
+
+def test_bad_port_exits_64(capsys):
+    from repro.experiments.runner import run
+
+    code = run(["serve", "--port", "99999", "--scale", "smoke"])
+    assert code == 64
+
+
+@pytest.mark.slow
+class TestServeSubprocess:
+    def _spawn(self, tmp_path, *extra):
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        env.setdefault("REPRO_RESULTS_DIR", str(tmp_path / "results"))
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro.experiments.runner", "serve",
+             "--scale", "smoke", "--port", "0", *extra],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True,
+        )
+
+    def _await_port(self, proc):
+        deadline = time.time() + 600
+        lines = []
+        while time.time() < deadline:
+            line = proc.stdout.readline()
+            if not line:
+                break
+            lines.append(line)
+            match = re.search(r"\[serving http://[\d.]+:(\d+)\]", line)
+            if match:
+                return int(match.group(1)), lines
+        proc.kill()
+        pytest.fail("server never announced its port: " + "".join(lines)
+                    + proc.stderr.read())
+
+    def test_serve_round_trip_and_clean_sigterm(self, tmp_path):
+        proc = self._spawn(tmp_path)
+        try:
+            port, _ = self._await_port(proc)
+            with PlanClient(port=port, timeout=600) as client:
+                assert client.healthz()["status"] == "ok"
+                served = client.plan(BODY)
+                assert served.source == "cold"
+                warm = client.plan(BODY)
+                assert warm.source == "warm"
+                assert warm.data == served.data
+            proc.send_signal(signal.SIGTERM)
+            out, err = proc.communicate(timeout=120)
+        except Exception:
+            proc.kill()
+            raise
+        assert proc.returncode == 0, err[-2000:]
+        assert "[drained: served 2 plan request(s)" in out
+        assert "warm=1 cold=1" in out
