@@ -7,6 +7,10 @@
    stay flat and warm p50 must be >= 10x faster than cold p50.
 3. **Coalescing** — K identical concurrent POSTs on a fresh key must
    collapse into exactly one engine resolution.
+4. **Multi-workload** — interleaved warm traffic routed at two engines
+   of one registry (``workload`` field, plus one ``model``-digest
+   route); both per-engine tripwires must stay flat and the two
+   workloads' key spaces must stay disjoint.
 
 Every served plan is also checked byte-identical against a direct
 memory-only :class:`~repro.plan.engine.PlanEngine` resolution — the
@@ -35,6 +39,7 @@ NWC_BUDGETS = (0.1, 0.3, 0.5, 0.7, 0.9)
 READ_TIMES = (1.0, 3.6e3, 8.64e4, 2.592e6, 7.776e6, 3.1536e7)
 COALESCE_READ_TIME = 6.048e5  # a key no other phase touches
 COALESCE_CLIENTS = 16
+MULTI_WORKLOADS = ("lenet-digits", "convnet-cifar")
 
 
 def _body(read_time, weight_bits):
@@ -174,6 +179,67 @@ def bench_serving(service, port, weight_bits, warm_rounds):
     return report, served
 
 
+def bench_multi_workload(registry, port, weight_bits, rounds):
+    """Interleaved warm traffic across two engines of one registry.
+
+    Warms both engines over a body set, then interleaves routed warm
+    POSTs round-robin across the workloads: both per-engine
+    ``engine_resolutions`` tripwires must stay flat, the two key
+    spaces must stay disjoint, and a ``model``-digest route must hit
+    the same warm path a ``workload`` route does.
+    """
+    from repro.serve import PlanClient
+
+    bodies = [_body(t, weight_bits) for t in READ_TIMES[:3]]
+    keys = {workload: set() for workload in MULTI_WORKLOADS}
+    with PlanClient(port=port, timeout=600) as client:
+        for workload in MULTI_WORKLOADS:
+            for body in bodies:
+                response = client.plan(body, workload=workload)
+                keys[workload].add(response.key)
+        tripwires = {
+            workload: registry.service(workload).counters[
+                "engine_resolutions"
+            ]
+            for workload in MULTI_WORKLOADS
+        }
+
+        latencies = []
+        start = time.perf_counter()
+        for _ in range(rounds):
+            for body in bodies:
+                for workload in MULTI_WORKLOADS:
+                    t0 = time.perf_counter()
+                    response = client.plan(body, workload=workload)
+                    latencies.append(time.perf_counter() - t0)
+                    assert response.source == "warm", (
+                        workload, response.source
+                    )
+        report = _classify(latencies, time.perf_counter() - start)
+
+        rows = {
+            row["workload"]: row for row in client.models()["models"]
+        }
+        by_digest = client.plan(
+            bodies[0], model=rows[MULTI_WORKLOADS[1]]["model"]
+        )
+
+    report["workloads"] = list(MULTI_WORKLOADS)
+    report["tripwires_flat"] = all(
+        registry.service(workload).counters["engine_resolutions"]
+        == tripwires[workload]
+        for workload in MULTI_WORKLOADS
+    )
+    report["keys_disjoint"] = not (
+        keys[MULTI_WORKLOADS[0]] & keys[MULTI_WORKLOADS[1]]
+    )
+    report["digest_route_warm"] = (
+        by_digest.source == "warm"
+        and by_digest.key in keys[MULTI_WORKLOADS[1]]
+    )
+    return report
+
+
 def check_byte_identity(zoo, scale, served):
     """Every served payload == a direct memory-only engine resolution."""
     from repro.plan import PlanArtifactCache, PlanEngine
@@ -215,7 +281,7 @@ def main(argv=None):
     from repro.experiments.model_zoo import load_workload
     from repro.experiments.reporting import results_dir
     from repro.plan import PlanArtifactCache
-    from repro.serve import PlanService
+    from repro.serve import PlanEngineRegistry
     from repro.serve.cli import build_service
 
     scale = get_scale("smoke" if args.smoke else "default")
@@ -223,15 +289,24 @@ def main(argv=None):
     print(f"# bench_serving — scale: {scale.name}")
 
     with tempfile.TemporaryDirectory(prefix="bench-serving-") as cache_root:
-        service = build_service(
-            scale=scale, cache=PlanArtifactCache(root=cache_root)
+        registry = build_service(
+            workloads=MULTI_WORKLOADS, scale=scale,
+            cache=PlanArtifactCache(root=cache_root),
         )
-        assert isinstance(service, PlanService)
-        zoo_key = service.engine.workload
-        with _ServerThread(service) as running:
+        assert isinstance(registry, PlanEngineRegistry)
+        zoo_key = registry.default
+        # Phases 1-3 drive the default engine (unrouted requests), so
+        # its per-engine counters carry the contracts exactly as a
+        # single-workload server's would.
+        service = registry.resolve()
+        with _ServerThread(registry) as running:
             report_body, served = bench_serving(
                 service, running.port,
                 weight_bits=4, warm_rounds=warm_rounds,
+            )
+            report_body["multi_workload"] = bench_multi_workload(
+                registry, running.port,
+                weight_bits=4, rounds=max(2, warm_rounds // 2),
             )
 
         zoo = load_workload(scale.workload("lenet-digits"))
@@ -248,7 +323,7 @@ def main(argv=None):
         "byte_identical_to_direct_resolution": identical,
     }
 
-    for phase in ("cold", "warm", "coalesced"):
+    for phase in ("cold", "warm", "coalesced", "multi_workload"):
         stats = report[phase]
         print(f"{phase}: {stats['requests']} requests, "
               f"{stats['requests_per_second']:.1f} req/s, "
@@ -257,6 +332,11 @@ def main(argv=None):
     print(f"coalesced engine resolutions: "
           f"{report['coalesced']['engine_resolutions']} "
           f"(of {COALESCE_CLIENTS} concurrent clients)")
+    multi = report["multi_workload"]
+    print(f"multi-workload ({' + '.join(multi['workloads'])}): tripwires "
+          f"flat {multi['tripwires_flat']}, keys disjoint "
+          f"{multi['keys_disjoint']}, digest route warm "
+          f"{multi['digest_route_warm']}")
     print(f"byte-identical to direct resolution: {identical}")
 
     failed = []
@@ -273,6 +353,14 @@ def main(argv=None):
         )
     if not report["coalesced"]["byte_identical_fanout"]:
         failed.append("coalesced fan-out served divergent bytes")
+    if not multi["tripwires_flat"]:
+        failed.append(
+            "two-workload warm traffic moved a per-engine tripwire"
+        )
+    if not multi["keys_disjoint"]:
+        failed.append("the two workloads' plan keys collided")
+    if not multi["digest_route_warm"]:
+        failed.append("model-digest routing missed the warm path")
     if not identical:
         failed.append("served bytes diverged from a direct engine resolution")
     for reason in failed:

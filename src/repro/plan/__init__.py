@@ -26,6 +26,7 @@ from repro.plan.engine import (
     PlanEngine,
     PlanRequest,
     SelectionPlan,
+    build_engine,
     load_plans,
     save_plans,
 )
@@ -46,6 +47,7 @@ __all__ = [
     "ScenarioOrchestrator",
     "SelectionPlan",
     "artifact_key",
+    "build_engine",
     "data_digest",
     "load_plans",
     "model_digest",

@@ -204,7 +204,9 @@ class PlanArtifactCache:
         self.memory_items = resolve_memory_items(memory_items)
         # The serving layer reads warm entries on the event loop while
         # a resolver thread writes cold ones; one uncontended lock keeps
-        # the LRU's read-reorder + insert + evict sequences atomic.
+        # the LRU's read-reorder + insert + evict sequences atomic — and
+        # guards every stats counter, so /statsz never under-counts a
+        # read-modify-write race between the loop and a resolver thread.
         self._memory_lock = threading.Lock()
         self.root = os.path.join(
             root or default_cache_dir(), "plan", f"v{self.version}"
@@ -249,7 +251,8 @@ class PlanArtifactCache:
 
     def _quarantine(self, path, reason):
         """Move a rotten artifact aside so the key reads as a miss."""
-        self.quarantined += 1
+        with self._memory_lock:
+            self.quarantined += 1
         try:
             os.replace(path, path + ".corrupt")
             where = f"quarantined as {os.path.basename(path)}.corrupt"
@@ -313,7 +316,8 @@ class PlanArtifactCache:
         """
         arrays = self._memory_get(key)
         if arrays is not None:
-            self.hits["memory"] += 1
+            with self._memory_lock:
+                self.hits["memory"] += 1
             return arrays
         if self.disk:
             path = os.path.join(self.root, f"{kind}-{key}.npz")
@@ -324,9 +328,11 @@ class PlanArtifactCache:
                 arrays = self._load_checked(path)
                 if arrays is not None:
                     self._remember(key, arrays)
-                    self.hits["disk"] += 1
+                    with self._memory_lock:
+                        self.hits["disk"] += 1
                     return arrays
-        self.misses += 1
+        with self._memory_lock:
+            self.misses += 1
         return None
 
     def get(self, kind, config):
@@ -394,7 +400,8 @@ class PlanArtifactCache:
             return producer()
 
         value, attempts = run_with_retry(produce)
-        self.producer_retries += attempts - 1
+        with self._memory_lock:
+            self.producer_retries += attempts - 1
         return self.put(kind, config, value)
 
     # -------------------------------------------------------------- plumbing
@@ -413,17 +420,18 @@ class PlanArtifactCache:
         ``/statsz`` endpoint returns it verbatim — consumers must not
         re-derive counters from cache internals.
         """
-        return {
-            **self.hits,
-            "misses": self.misses,
-            "quarantined": self.quarantined,
-            "producer_retries": self.producer_retries,
-            "evictions": self.evictions,
-            "memory_entries": (
-                len(self._memory) if self._memory is not None else 0
-            ),
-            "memory_cap": self.memory_items,
-        }
+        with self._memory_lock:
+            return {
+                **self.hits,
+                "misses": self.misses,
+                "quarantined": self.quarantined,
+                "producer_retries": self.producer_retries,
+                "evictions": self.evictions,
+                "memory_entries": (
+                    len(self._memory) if self._memory is not None else 0
+                ),
+                "memory_cap": self.memory_items,
+            }
 
     def __repr__(self):
         tiers = []

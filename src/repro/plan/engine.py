@@ -53,6 +53,7 @@ __all__ = [
     "PlanEngine",
     "PlanRequest",
     "SelectionPlan",
+    "build_engine",
     "load_plans",
     "save_plans",
 ]
@@ -531,3 +532,50 @@ class PlanEngine:
         times costs one curvature pass total.
         """
         return [self.plan(request) for request in requests]
+
+
+def build_engine(workload="lenet-digits", scale=None, cache=None):
+    """Load a zoo workload and wire a :class:`PlanEngine` over it.
+
+    The one shared construction path behind the serving layer's engine
+    registry and the serving benchmark.  Mirrors the orchestrator's
+    engine construction (sense set = the scale's training-subset slice,
+    curvature batch size capped at 256) so engine-resolved plans are the
+    ones a scenario run would compute.
+
+    Parameters
+    ----------
+    workload:
+        A model-zoo workload key; an unknown one raises
+        :class:`~repro.robustness.errors.ScenarioConfigError` (CLI
+        exit 64, HTTP 400 through the serving layer).
+    scale:
+        A scale name (``smoke`` / ``default`` / ``full``), a
+        :class:`~repro.experiments.config.ScalePreset`, or None for
+        ``REPRO_SCALE``-resolved default.
+    cache:
+        The :class:`~repro.plan.cache.PlanArtifactCache` the engine
+        stores stages in; the registry passes one shared cache to every
+        engine it builds.
+    """
+    from repro.experiments.config import get_scale
+    from repro.experiments.model_zoo import load_workload
+    from repro.robustness.errors import ScenarioConfigError
+
+    scale = get_scale(scale) if not hasattr(scale, "workloads") else scale
+    try:
+        spec = scale.workload(workload)
+    except KeyError as exc:
+        raise ScenarioConfigError(
+            f"unknown workload {workload!r}; available: "
+            f"{sorted(scale.workloads)}"
+        ) from exc
+    zoo = load_workload(spec)
+    return PlanEngine(
+        zoo.model,
+        zoo.data.train_x[:scale.sense_samples],
+        zoo.data.train_y[:scale.sense_samples],
+        workload=zoo.spec.key,
+        cache=cache if cache is not None else PlanArtifactCache(),
+        curvature_batch_size=min(256, int(scale.sense_samples)),
+    )

@@ -6,23 +6,28 @@ stdlib-only asyncio HTTP service over :class:`~repro.plan.engine.
 PlanEngine` / :class:`~repro.plan.cache.PlanArtifactCache` that
 answers "which weights do I verify at budget b for model X /
 technology Y / read_time t?" at memory-lookup speed once a plan is
-warm.
+warm — for *every* zoo workload of the scale from one process, via
+the :class:`PlanEngineRegistry` (lazy per-workload engines, routed by
+``workload`` name or ``model`` digest, LRU-capped by
+``REPRO_SERVE_MAX_ENGINES``, one shared artifact cache).
 
 The perf contract, in one sentence each:
 
 - **warm-path fast serving** — a cache hit replays stored canonical
-  bytes and never constructs an engine resolution (the
+  bytes and never constructs an engine resolution (the per-engine
   ``engine_resolutions`` tripwire counter proves it);
 - **single-flight coalescing** — N identical concurrent requests
-  collapse into one resolution, keyed by the same content digest the
-  cache uses;
-- **bounded memory** — the cache's LRU cap (``REPRO_CACHE_MEM_ITEMS``)
-  and fixed-size latency windows keep a long-lived server's RSS flat.
+  collapse into one resolution *per engine*, keyed by the same
+  content digest the shared cache uses;
+- **bounded memory** — the cache's LRU cap (``REPRO_CACHE_MEM_ITEMS``),
+  the live-engine cap (``REPRO_SERVE_MAX_ENGINES``) and fixed-size
+  latency windows keep a long-lived server's RSS flat.
 
 Entry points: ``runner serve`` / ``python -m repro.serve`` (the CLI),
-:class:`PlanService` + :class:`PlanHTTPServer` (embedding),
-:class:`PlanClient` (consumers), ``benchmarks/bench_serving.py`` (the
-load benchmark behind ``BENCH_serving.json``).
+:class:`PlanEngineRegistry` / :class:`PlanService` +
+:class:`PlanHTTPServer` (embedding), :class:`PlanClient` (consumers),
+``benchmarks/bench_serving.py`` (the load benchmark behind
+``BENCH_serving.json``).
 """
 
 from repro.serve.client import PlanClient, PlanClientError, PlanResponse
@@ -31,24 +36,30 @@ from repro.serve.codec import (
     parse_plan_request,
     plan_bytes,
     plan_config,
+    split_plan_route,
 )
 from repro.serve.http import DEFAULT_PORT, PlanHTTPServer
+from repro.serve.registry import PlanEngineRegistry, resolve_max_engines
 from repro.serve.service import LatencyWindow, PlanService, ServedPlan
-from repro.serve.cli import run, serve_main
+from repro.serve.cli import build_service, run, serve_main
 
 __all__ = [
     "DEFAULT_PORT",
     "LatencyWindow",
     "PlanClient",
     "PlanClientError",
+    "PlanEngineRegistry",
     "PlanHTTPServer",
     "PlanRequestError",
     "PlanResponse",
     "PlanService",
     "ServedPlan",
+    "build_service",
     "parse_plan_request",
     "plan_bytes",
     "plan_config",
+    "resolve_max_engines",
     "run",
     "serve_main",
+    "split_plan_route",
 ]

@@ -117,7 +117,10 @@ class PlanClient:
         """``POST /v1/plan``; returns a :class:`PlanResponse`.
 
         ``request`` is the JSON body as a dict (or pass fields as
-        keyword arguments).  Raises :class:`PlanClientError` on any
+        keyword arguments).  Against a multi-workload server, a
+        ``workload="convnet-cifar"`` or ``model="<digest>"`` field
+        routes the request to that engine (default: the server's
+        default workload).  Raises :class:`PlanClientError` on any
         non-200 — a 400's single-line reason is the exception message.
         """
         payload = dict(request or {})
@@ -145,6 +148,16 @@ class PlanClient:
             key=headers.get("x-plan-key", key),
             source=headers.get("x-plan-source", "warm"),
         )
+
+    def models(self):
+        """``GET /v1/models`` as a dict.
+
+        ``{"default", "max_engines", "models": [{"workload", "model",
+        "loaded", "requests"}, ...]}`` — one row per loadable workload;
+        the ``model`` digest of a loaded row is what a ``plan(...,
+        model=<digest>)`` request routes by.
+        """
+        return self._json("/v1/models")
 
     def healthz(self):
         """``GET /healthz`` as a dict."""

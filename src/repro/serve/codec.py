@@ -37,15 +37,22 @@ __all__ = [
     "PlanRequestError",
     "decode_plan_bytes",
     "encode_plan_bytes",
+    "is_model_digest",
     "is_plan_key",
     "parse_plan_request",
     "plan_bytes",
     "plan_config",
+    "split_plan_route",
 ]
 
 #: Shape of a cache key as it appears in ``GET /v1/plan/<key>`` —
 #: :func:`repro.plan.cache.artifact_key` emits 32 lowercase hex chars.
 _KEY_PATTERN = re.compile(r"^[0-9a-f]{32}$")
+
+#: Shape of a model digest as served in ``/v1/models`` and accepted in a
+#: request's ``model`` routing field —
+#: :func:`repro.plan.cache.model_digest` emits 16 lowercase hex chars.
+_MODEL_DIGEST_PATTERN = re.compile(r"^[0-9a-f]{16}$")
 
 #: Name of the single array inside a ``plan`` cache artifact: the
 #: canonical JSON bytes of the resolved plan.
@@ -64,6 +71,56 @@ class PlanRequestError(ScenarioConfigError):
 def is_plan_key(text):
     """Whether ``text`` is shaped like a cache key (32 hex chars)."""
     return bool(_KEY_PATTERN.match(text or ""))
+
+
+def is_model_digest(text):
+    """Whether ``text`` is shaped like a model digest (16 hex chars)."""
+    return bool(_MODEL_DIGEST_PATTERN.match(text or ""))
+
+
+def split_plan_route(body):
+    """Split the routing fields off a ``POST /v1/plan`` body.
+
+    Returns ``((workload, model), remainder)`` where ``remainder`` is
+    the body re-encoded *without* the routing fields — the per-engine
+    request the resolved :class:`~repro.serve.service.PlanService`
+    parses.  Routing never reaches :func:`plan_config`, so a routed
+    request's content key (and therefore its plan bytes) is identical
+    to the same request POSTed to a single-workload server.
+
+    Raises :class:`PlanRequestError` on a non-JSON body, a non-object
+    body, an ill-typed routing field, or both fields set at once (a
+    digest names exactly one workload — a request naming both is
+    ambiguous the moment they disagree).
+    """
+    try:
+        data = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise PlanRequestError(
+            f"request body is not valid JSON: {str(exc).splitlines()[0]}"
+        ) from exc
+    if not isinstance(data, dict):
+        raise PlanRequestError(
+            f"request body must be a JSON object, got {type(data).__name__}"
+        )
+    workload = data.pop("workload", None)
+    if workload is not None and not isinstance(workload, str):
+        raise PlanRequestError(
+            f"workload must be a workload name, got {workload!r}"
+        )
+    model = data.pop("model", None)
+    if model is not None and (
+        not isinstance(model, str) or not is_model_digest(model)
+    ):
+        raise PlanRequestError(
+            f"model must be a 16-hex model digest, got {model!r}"
+        )
+    if workload is not None and model is not None:
+        raise PlanRequestError(
+            "set workload or model, not both — a model digest already "
+            "names its workload"
+        )
+    return (workload, model), json.dumps(data).encode("utf-8")
 
 
 def _field(data, name, kinds, default, what):

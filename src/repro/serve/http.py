@@ -8,10 +8,12 @@ budget at zero.
 
 Routes::
 
-    POST /v1/plan        resolve (or replay) a PlanRequest JSON body
+    POST /v1/plan        resolve (or replay) a PlanRequest JSON body,
+                         optionally routed by "workload"/"model" fields
     GET  /v1/plan/<key>  content-addressed warm fetch (404 on miss)
+    GET  /v1/models      loaded + loadable workloads, digests, counters
     GET  /healthz        liveness
-    GET  /statsz         counters, cache stats, p50/p99 latency
+    GET  /statsz         per-engine counters + aggregate, cache stats
 
 Plan responses carry ``X-Plan-Key`` (the content address, for later
 warm ``GET``\\ s) and ``X-Plan-Source`` (``warm`` / ``cold`` /
@@ -63,7 +65,10 @@ class PlanHTTPServer:
     ----------
     service:
         The transport-independent core (anything with async ``plan``
-        plus ``fetch`` / ``healthz`` / ``stats`` / ``close``).
+        plus ``fetch`` / ``models`` / ``healthz`` / ``stats`` /
+        ``close``) — a single-engine :class:`~repro.serve.service.
+        PlanService` or a multi-workload :class:`~repro.serve.registry.
+        PlanEngineRegistry`.
     host / port:
         Bind address; port ``0`` asks the kernel for an ephemeral port
         (read the bound one back from :attr:`port` after
@@ -89,12 +94,16 @@ class PlanHTTPServer:
         self._stopping = False
         self._signals = 0
         self._stop_event = None
+        self._loop = None  # captured at start(); shutdown routes through it
 
     # ----------------------------------------------------------------- wiring
 
     async def start(self):
         """Bind and start accepting; resolves :attr:`port` when ephemeral."""
+        self._loop = asyncio.get_running_loop()
         self._stop_event = asyncio.Event()
+        if self._signals:
+            self._stop_event.set()  # a pre-start shutdown request sticks
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
@@ -104,9 +113,23 @@ class PlanHTTPServer:
     def request_shutdown(self):
         """The signal-handler body: first call drains, second forces.
 
-        Public (and thread-safe via ``call_soon_threadsafe``) so
-        embedders and tests can drive the same path a SIGTERM does.
+        Public and genuinely thread-safe: the signal/event mutation is
+        marshalled onto the serving loop via ``call_soon_threadsafe``
+        (an ``asyncio.Event`` set from a foreign thread would not wake
+        the loop), so embedders and tests can drive the same path a
+        SIGTERM does from any thread.
         """
+        loop = self._loop
+        if loop is None or loop.is_closed():
+            # Not started (or already torn down): no loop to wake.
+            self._signal_stop()
+            return
+        try:
+            loop.call_soon_threadsafe(self._signal_stop)
+        except RuntimeError:
+            pass  # loop closed between the check and the call: already down
+
+    def _signal_stop(self):
         self._signals += 1
         if self._stop_event is not None:
             self._stop_event.set()
@@ -176,11 +199,16 @@ class PlanHTTPServer:
                     break
                 method, target, version, headers = request
 
-                try:
-                    length = int(headers.get("content-length", "0") or "0")
-                    if length < 0:
-                        raise ValueError(length)
-                except ValueError:
+                # RFC 9110: Content-Length is 1*DIGIT.  Bare int() would
+                # also accept "+5", "1_2", unicode digits and padded
+                # whitespace — smuggling-adjacent laxness; reject anything
+                # that is not pure ASCII digits with a single-line 400.
+                raw_length = headers.get("content-length")
+                if raw_length is None:
+                    length = 0
+                elif raw_length.isascii() and raw_length.isdigit():
+                    length = int(raw_length)
+                else:
                     await self._respond(
                         writer, 400, {"error": "malformed Content-Length"},
                         keep=False,
@@ -272,6 +300,10 @@ class PlanHTTPServer:
                     "X-Plan-Key": key,
                     "X-Plan-Source": "warm",
                 }
+            if path == "/v1/models":
+                if method != "GET":
+                    return 405, {"error": "use GET /v1/models"}, None
+                return 200, self.service.models(), None
             if path == "/healthz":
                 if method != "GET":
                     return 405, {"error": "use GET /healthz"}, None

@@ -1,0 +1,310 @@
+"""Multi-workload plan serving: one engine per zoo workload, lazily.
+
+PR 8's serving layer held exactly one :class:`~repro.plan.engine.
+PlanEngine` — one workload, one model digest.  A fleet front end wants
+one process answering for *every* zoo workload, so the
+:class:`PlanEngineRegistry` grows the service sideways instead of up:
+
+- **lazy engines** — the registry knows every loadable workload of its
+  scale but constructs a :class:`~repro.serve.service.PlanService`
+  (engine + resolution executor + counters) only on a workload's first
+  request, through one injected ``engine_factory(workload, cache)``.
+- **digest routing** — a ``POST /v1/plan`` body may carry a
+  ``workload`` (zoo key) or ``model`` (16-hex digest) field; the
+  registry resolves it and strips it before the per-engine parse, so a
+  routed request's content key — and therefore its plan bytes — is
+  identical to the same request against a single-workload server.
+  Digest routing covers every engine this process has loaded at least
+  once (digests are deterministic, so the map survives retirement).
+- **bounded engines** — ``REPRO_SERVE_MAX_ENGINES`` (or the
+  ``max_engines`` argument; 0 = unbounded) caps live engines with
+  least-recently-*routed* retirement: the retired service's executor
+  drains on its worker threads (in-flight coalesced riders still
+  complete) without blocking the event loop, and a later request for
+  that workload rebuilds it fresh.
+- **shared cache, per-engine contracts** — every engine stores into
+  one bounded :class:`~repro.plan.cache.PlanArtifactCache` (the
+  content key already folds in the model digest, so engines can never
+  collide), while the ``engine_resolutions`` tripwire and the
+  single-flight in-flight map stay *per engine*, keyed by the cache's
+  own content key exactly as before.
+
+The registry implements the same surface the HTTP layer speaks
+(``plan`` / ``fetch`` / ``models`` / ``healthz`` / ``stats`` /
+``close``), so :class:`~repro.serve.http.PlanHTTPServer` serves either
+a bare :class:`~repro.serve.service.PlanService` or a registry without
+knowing which.  This is the single-box half of the ROADMAP's
+digest-sharded fan-out: the content key is already the shard key.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+
+from repro.robustness.errors import ScenarioConfigError
+from repro.serve.codec import (
+    PlanRequestError,
+    decode_plan_bytes,
+    is_plan_key,
+    split_plan_route,
+)
+from repro.serve.service import COUNTER_NAMES, PLAN_KIND, PlanService
+
+__all__ = ["PlanEngineRegistry", "resolve_max_engines"]
+
+
+def resolve_max_engines(max_engines=None):
+    """Resolve the live-engine cap: arg, else ``REPRO_SERVE_MAX_ENGINES``.
+
+    ``0`` (the default when neither is given) means unbounded; negative
+    or non-integer values raise
+    :class:`~repro.robustness.errors.ScenarioConfigError` (CLI exit 64).
+    """
+    if max_engines is None:
+        raw = os.environ.get("REPRO_SERVE_MAX_ENGINES", "").strip()
+        if not raw:
+            return 0
+        try:
+            max_engines = int(raw)
+        except ValueError as exc:
+            raise ScenarioConfigError(
+                f"REPRO_SERVE_MAX_ENGINES must be an integer, got {raw!r}"
+            ) from exc
+    max_engines = int(max_engines)
+    if max_engines < 0:
+        raise ScenarioConfigError(
+            "max_engines must be >= 1, or 0 for unbounded live engines"
+        )
+    return max_engines
+
+
+class PlanEngineRegistry:
+    """Routes plan traffic to one lazily-built engine per workload.
+
+    Parameters
+    ----------
+    engine_factory:
+        ``factory(workload, cache) -> PlanEngine`` — invoked once per
+        workload on first request (and again after an LRU retirement).
+        The registry always passes its own shared ``cache`` so every
+        engine stores into one bounded artifact tier.
+    workloads:
+        The loadable workload keys (a scale's zoo).  Requests naming
+        anything else are a single-line 400.
+    default:
+        The workload unrouted requests (no ``workload``/``model``
+        field) resolve to — the single-workload server's behavior.
+        Defaults to the first entry of ``workloads``.
+    cache:
+        The shared :class:`~repro.plan.cache.PlanArtifactCache`
+        (default: a fresh one).  Safe by construction: plan content
+        keys fold in the model digest, so two engines can never
+        address each other's artifacts.
+    resolve_workers:
+        Per-engine cold-resolution threads (each engine keeps its own
+        executor, as before).
+    max_engines:
+        Live-engine cap via :func:`resolve_max_engines`
+        (``REPRO_SERVE_MAX_ENGINES``; 0 = unbounded).
+    """
+
+    def __init__(self, engine_factory, workloads, default=None, cache=None,
+                 resolve_workers=1, max_engines=None):
+        from repro.plan import PlanArtifactCache
+
+        workloads = tuple(workloads)
+        if not workloads:
+            raise ScenarioConfigError("registry needs at least one workload")
+        if default is None:
+            default = workloads[0]
+        if default not in workloads:
+            raise ScenarioConfigError(
+                f"default workload {default!r} is not loadable; loadable: "
+                f"{sorted(workloads)}"
+            )
+        self._factory = engine_factory
+        self.workloads = workloads
+        self.default = default
+        self.cache = cache if cache is not None else PlanArtifactCache()
+        self.resolve_workers = resolve_workers
+        self.max_engines = resolve_max_engines(max_engines)
+        # workload -> live PlanService, in least-recently-routed order.
+        self._services = OrderedDict()
+        # model digest -> workload, for every engine ever loaded here.
+        # Digests are deterministic functions of the workload spec, so
+        # entries survive retirement and never go stale.
+        self._digests = {}
+        self.counters = {
+            "bad_requests": 0,     # routing-level 400s (pre-engine)
+            "fetch_hits": 0,
+            "fetch_misses": 0,
+            "engines_loaded": 0,   # factory invocations (incl. rebuilds)
+            "engines_retired": 0,  # LRU retirements past max_engines
+        }
+
+    # ---------------------------------------------------------------- routing
+
+    def service(self, workload):
+        """The live :class:`PlanService` for one workload (built lazily).
+
+        Touches the LRU (most-recently-routed last) and retires past
+        the cap; retirement drains the retired executor on its worker
+        threads without blocking the caller.
+        """
+        if workload not in self.workloads:
+            raise PlanRequestError(
+                f"unknown workload {workload!r}; loadable: "
+                f"{sorted(self.workloads)}"
+            )
+        service = self._services.get(workload)
+        if service is None:
+            engine = self._factory(workload, self.cache)
+            service = PlanService(
+                engine, resolve_workers=self.resolve_workers
+            )
+            self._services[workload] = service
+            self._digests[engine._model_digest] = workload
+            self.counters["engines_loaded"] += 1
+        self._services.move_to_end(workload)
+        while self.max_engines > 0 and len(self._services) > self.max_engines:
+            _, retired = self._services.popitem(last=False)
+            retired.close(wait=False)
+            self.counters["engines_retired"] += 1
+        return service
+
+    def resolve(self, workload=None, model=None):
+        """Resolve a request's routing fields to a live service.
+
+        No field: the default workload.  ``model``: the digest map of
+        every engine loaded at least once in this process (preloads at
+        startup seed it) — an unknown digest is a 400, never a guess.
+        """
+        if model is not None:
+            workload = self._digests.get(model)
+            if workload is None:
+                raise PlanRequestError(
+                    f"unknown model digest {model!r}; loaded: "
+                    f"{sorted(self._digests)} (route by workload to load "
+                    f"a new engine)"
+                )
+        return self.service(workload if workload is not None else self.default)
+
+    # ---------------------------------------------------------------- serving
+
+    async def plan(self, body):
+        """Serve one ``POST /v1/plan`` body through the routed engine.
+
+        Routing failures (bad JSON, unknown workload/digest) are
+        counted registry-side; everything after the route — parsing,
+        caching, coalescing, the tripwire — is the routed engine's
+        :meth:`~repro.serve.service.PlanService.plan`, contract intact.
+        """
+        try:
+            (workload, model), remainder = split_plan_route(body)
+            service = self.resolve(workload, model)
+        except Exception:
+            self.counters["bad_requests"] += 1
+            raise
+        return await service.plan(remainder)
+
+    def fetch(self, key):
+        """``GET /v1/plan/<key>``: warm fetch from the shared cache.
+
+        Workload-agnostic by construction — the key *is* the identity,
+        wherever it was resolved.
+        """
+        arrays = self.cache.lookup(PLAN_KIND, key) if is_plan_key(key) else None
+        if arrays is None:
+            self.counters["fetch_misses"] += 1
+            return None
+        self.counters["fetch_hits"] += 1
+        return decode_plan_bytes(arrays)
+
+    # -------------------------------------------------------------- plumbing
+
+    def models(self):
+        """``GET /v1/models``: loaded + loadable workloads, one row each.
+
+        Loaded rows carry the model digest and live per-engine
+        counters; never-loaded rows carry ``"loaded": false`` and a
+        null digest (the digest is unknowable without paying the
+        load); retired rows keep their digest (it is deterministic)
+        but lose their counters with the engine.
+        """
+        known = {w: d for d, w in self._digests.items()}
+        rows = []
+        for workload in self.workloads:
+            service = self._services.get(workload)
+            if service is not None:
+                rows.append(service.model_entry())
+            else:
+                rows.append({
+                    "workload": workload,
+                    "model": known.get(workload),
+                    "loaded": False,
+                    "requests": None,
+                })
+        return {
+            "default": self.default,
+            "max_engines": self.max_engines,
+            "models": rows,
+        }
+
+    def healthz(self):
+        """Liveness payload: what is loaded, what could be."""
+        return {
+            "status": "ok",
+            "default": self.default,
+            "loaded": list(self._services),
+            "workloads": list(self.workloads),
+            "max_engines": self.max_engines,
+            "cache_version": self.cache.version,
+        }
+
+    def stats(self):
+        """``/statsz``: per-engine sections plus one aggregate.
+
+        The aggregate ``requests`` dict sums every live engine's
+        counters and folds in the registry-level ones
+        (routing ``bad_requests``, shared-cache ``fetch_*``); the
+        ``cache`` section is the shared cache's
+        :meth:`~repro.plan.cache.PlanArtifactCache.stats` verbatim,
+        exactly once (per-engine sections drop it — it is one cache).
+        """
+        aggregate = {name: 0 for name in COUNTER_NAMES}
+        engines = {}
+        in_flight = 0
+        for workload, service in self._services.items():
+            stats = service.stats()
+            stats.pop("cache", None)
+            engines[workload] = stats
+            in_flight += stats["in_flight_coalesced"]
+            for name, value in stats["requests"].items():
+                aggregate[name] = aggregate.get(name, 0) + value
+        for name in ("bad_requests", "fetch_hits", "fetch_misses"):
+            aggregate[name] = aggregate.get(name, 0) + self.counters[name]
+        return {
+            "requests": aggregate,
+            "in_flight_coalesced": in_flight,
+            "engines": engines,
+            "registry": {
+                "default": self.default,
+                "loaded": list(self._services),
+                "loadable": list(self.workloads),
+                "max_engines": self.max_engines,
+                "engines_loaded": self.counters["engines_loaded"],
+                "engines_retired": self.counters["engines_retired"],
+            },
+            "cache": self.cache.stats(),
+        }
+
+    def close(self):
+        """Shut every live engine's executor down (after the HTTP drain).
+
+        Engines stay registered — their counters remain readable (the
+        CLI prints the drained summary from :meth:`stats` *after*
+        closing), they just cannot resolve anymore.
+        """
+        for service in self._services.values():
+            service.close()

@@ -41,10 +41,25 @@ from repro.serve.codec import (
     plan_config,
 )
 
-__all__ = ["LatencyWindow", "PlanService", "ServedPlan"]
+__all__ = ["COUNTER_NAMES", "LatencyWindow", "PlanService", "ServedPlan"]
 
 #: The artifact kind under which served plans live in the cache.
 PLAN_KIND = "plan"
+
+#: Counter keys every :class:`PlanService` keeps.  The engine registry
+#: zero-seeds its aggregate from this, so ``/statsz`` is shape-stable
+#: before any engine has loaded or served.
+COUNTER_NAMES = (
+    "requests",
+    "warm",
+    "cold",
+    "coalesced",
+    "fetch_hits",
+    "fetch_misses",
+    "bad_requests",
+    "resolve_errors",       # failed resolutions (cold + riders)
+    "engine_resolutions",   # the warm-path tripwire
+)
 
 
 class LatencyWindow:
@@ -119,16 +134,7 @@ class PlanService:
             thread_name_prefix="plan-resolve",
         )
         self._inflight = {}  # content key -> asyncio.Task resolving it
-        self.counters = {
-            "requests": 0,
-            "warm": 0,
-            "cold": 0,
-            "coalesced": 0,
-            "fetch_hits": 0,
-            "fetch_misses": 0,
-            "bad_requests": 0,
-            "engine_resolutions": 0,  # the warm-path tripwire
-        }
+        self.counters = {name: 0 for name in COUNTER_NAMES}
         self.latency = {
             "warm": LatencyWindow(),
             "cold": LatencyWindow(),
@@ -168,7 +174,18 @@ class PlanService:
                 task.add_done_callback(
                     lambda _done, key=key: self._inflight.pop(key, None)
                 )
-            data = await task
+            try:
+                data = await task
+            except Exception:
+                # A failed resolution is still traffic: the cold
+                # requester *and* every coalesced rider record their
+                # request, source, and latency, plus the error counter —
+                # error load must be visible in /statsz.
+                self.counters["requests"] += 1
+                self.counters[source] += 1
+                self.counters["resolve_errors"] += 1
+                self.latency[source].record(time.perf_counter() - start)
+                raise
 
         self.counters["requests"] += 1
         self.counters[source] += 1
@@ -212,6 +229,28 @@ class PlanService:
             "cache_version": self.cache.version,
         }
 
+    def model_entry(self):
+        """This engine's row in a ``GET /v1/models`` listing."""
+        return {
+            "workload": self.engine.workload,
+            "model": self.engine._model_digest,
+            "loaded": True,
+            "requests": dict(self.counters),
+        }
+
+    def models(self):
+        """``GET /v1/models`` payload for a single-engine service.
+
+        Shape-compatible with :meth:`~repro.serve.registry.
+        PlanEngineRegistry.models`, so embedders can swap one engine
+        for a registry without touching consumers.
+        """
+        return {
+            "default": self.engine.workload,
+            "max_engines": 1,
+            "models": [self.model_entry()],
+        }
+
     def stats(self):
         """``/statsz`` payload.
 
@@ -231,6 +270,12 @@ class PlanService:
             },
         }
 
-    def close(self):
-        """Shut the resolution executor down (after the HTTP drain)."""
-        self._executor.shutdown(wait=True)
+    def close(self, wait=True):
+        """Shut the resolution executor down (after the HTTP drain).
+
+        ``wait=False`` lets in-flight resolutions finish on their
+        worker threads without blocking the caller — the registry's
+        LRU-retirement path, which runs on the event loop and must not
+        stall warm traffic behind a retiring engine's drain.
+        """
+        self._executor.shutdown(wait=wait)

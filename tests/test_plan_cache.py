@@ -248,6 +248,47 @@ class TestMemoryLRU:
         assert fresh.lookup("order", "0" * 32) is None
 
 
+class TestCounterThreadSafety:
+    def test_counters_exact_under_concurrent_traffic(self, tmp_path):
+        """hits/misses stay read-modify-write-safe across threads.
+
+        The serving layer reads the cache from the event loop while
+        resolver threads write it; every counter update goes through
+        ``_memory_lock``, so the totals must come out *exact* — an
+        unlocked ``+= 1`` would drop increments under this hammering
+        (the /statsz under-count bug).
+        """
+        import sys as _sys
+        import threading
+        from concurrent.futures import ThreadPoolExecutor
+
+        cache = PlanArtifactCache(root=str(tmp_path), disk=False)
+        configs = [{"i": i} for i in range(4)]
+        for config in configs:
+            cache.put("order", config, {"order": np.arange(3)})
+
+        n_threads, iterations = 8, 300
+        barrier = threading.Barrier(n_threads)
+        switch = _sys.getswitchinterval()
+        _sys.setswitchinterval(1e-6)  # force aggressive interleaving
+        try:
+            def hammer(worker):
+                barrier.wait()
+                for i in range(iterations):
+                    hit = configs[(worker + i) % len(configs)]
+                    assert cache.get("order", hit) is not None
+                    assert cache.lookup("order", "0" * 32) is None
+
+            with ThreadPoolExecutor(max_workers=n_threads) as pool:
+                list(pool.map(hammer, range(n_threads)))
+        finally:
+            _sys.setswitchinterval(switch)
+
+        stats = cache.stats()
+        assert stats["memory"] == n_threads * iterations
+        assert stats["misses"] == n_threads * iterations
+
+
 @pytest.mark.parametrize("disk", [True, False])
 def test_cold_vs_warm_artifacts_bitwise(tmp_path, disk):
     """Whatever the producer emitted is returned bit-for-bit on warm hits."""

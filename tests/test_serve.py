@@ -11,10 +11,12 @@ signal, forced exit-75 on the second).
 from __future__ import annotations
 
 import asyncio
+import copy
 import json
 import os
 import re
 import signal
+import socket
 import subprocess
 import sys
 import threading
@@ -28,11 +30,13 @@ from repro.robustness.errors import TransientFaultError
 from repro.serve import (
     PlanClient,
     PlanClientError,
+    PlanEngineRegistry,
     PlanHTTPServer,
     PlanRequestError,
     PlanService,
     parse_plan_request,
     plan_bytes,
+    split_plan_route,
 )
 
 ONE_HOUR = 3.6e3
@@ -74,6 +78,44 @@ def _engine(mini_zoo, sense=96, **cache_kwargs):
 def _body(**overrides):
     payload = {**BODY, **overrides}
     return json.dumps(payload).encode("utf-8")
+
+
+@pytest.fixture()
+def twin_zoo(mini_zoo):
+    """A second distinct 'workload': same architecture, perturbed weights.
+
+    Cheap stand-in for a real second zoo entry — a different model
+    digest is all the registry's routing cares about.
+    """
+    model = copy.deepcopy(mini_zoo.model)
+    param = next(iter(model.parameters()))
+    param.data = param.data * 1.01 + 1e-3
+    return SimpleNamespace(
+        model=model,
+        data=mini_zoo.data,
+        spec=SimpleNamespace(key="lenet-twin", weight_bits=4),
+    )
+
+
+def _registry(mini_zoo, twin_zoo, **kwargs):
+    """A two-workload registry over one shared memory-only cache."""
+    zoos = {"lenet-test": mini_zoo, "lenet-twin": twin_zoo}
+
+    def factory(workload, cache):
+        zoo = zoos[workload]
+        return PlanEngine(
+            zoo.model,
+            zoo.data.train_x[:96],
+            zoo.data.train_y[:96],
+            workload=workload,
+            cache=cache,
+            curvature_batch_size=96,
+        )
+
+    kwargs.setdefault("cache", PlanArtifactCache(disk=False))
+    return PlanEngineRegistry(
+        factory, workloads=("lenet-test", "lenet-twin"), **kwargs
+    )
 
 
 # --------------------------------------------------------------------- codec
@@ -203,6 +245,275 @@ class TestPlanService:
         assert stats["in_flight_coalesced"] == 0
         warm = stats["latency_ms"]["warm"]
         assert warm["count"] == 1 and warm["p50_ms"] is not None
+
+
+# ------------------------------------------------------------- error counters
+
+
+class TestResolveErrorCounters:
+    def test_failed_resolution_counts_cold_and_riders(self, mini_zoo,
+                                                      monkeypatch):
+        """Error traffic is visible: requests/source/latency + errors.
+
+        A failed cold resolution used to skip the counters entirely, so
+        a server melting down looked idle in /statsz.  Both the cold
+        requester and its coalesced riders must record.
+        """
+        service = PlanService(_engine(mini_zoo))
+
+        def boom(request):
+            raise RuntimeError("engine exploded")
+
+        monkeypatch.setattr(service.engine, "plan", boom)
+        try:
+            async def burst():
+                return await asyncio.gather(
+                    *(service.plan(_body()) for _ in range(4)),
+                    return_exceptions=True,
+                )
+
+            results = asyncio.run(burst())
+        finally:
+            service.close()
+
+        assert all(isinstance(r, RuntimeError) for r in results)
+        counters = service.counters
+        assert counters["requests"] == 4
+        assert counters["cold"] == 1
+        assert counters["coalesced"] == 3
+        assert counters["resolve_errors"] == 4
+        assert counters["engine_resolutions"] == 1  # the attempt counts
+        assert service.latency["cold"].count == 1
+        assert service.latency["coalesced"].count == 3
+        # The key is no longer in flight: a retry starts a fresh attempt.
+        assert len(service._inflight) == 0
+
+    def test_error_surfaces_as_500_over_http(self, mini_zoo, monkeypatch):
+        service = PlanService(_engine(mini_zoo))
+
+        def boom(request):
+            raise RuntimeError("engine exploded")
+
+        monkeypatch.setattr(service.engine, "plan", boom)
+        with _ServerThread(service) as running:
+            with PlanClient(port=running.port) as client:
+                with pytest.raises(PlanClientError) as excinfo:
+                    client.plan(BODY)
+                assert excinfo.value.status == 500
+                stats = client.statsz()
+        assert stats["requests"]["resolve_errors"] == 1
+        assert stats["requests"]["requests"] == 1
+
+
+# ------------------------------------------------------------------- registry
+
+
+class TestPlanEngineRegistry:
+    def test_two_workload_routing_with_per_engine_tripwires(
+            self, mini_zoo, twin_zoo):
+        """One process, two workloads: routed plans, per-engine counters."""
+        registry = _registry(mini_zoo, twin_zoo)
+        try:
+            async def drive():
+                first = await registry.plan(_body(workload="lenet-test"))
+                second = await registry.plan(_body(workload="lenet-twin"))
+                warm_a = await registry.plan(_body(workload="lenet-test"))
+                warm_b = await registry.plan(_body(workload="lenet-twin"))
+                unrouted = await registry.plan(_body())  # default workload
+                return first, second, warm_a, warm_b, unrouted
+
+            first, second, warm_a, warm_b, unrouted = asyncio.run(drive())
+        finally:
+            registry.close()
+
+        assert first.key != second.key
+        assert first.data != second.data
+        assert (warm_a.source, warm_b.source) == ("warm", "warm")
+        assert warm_a.data == first.data and warm_b.data == second.data
+        # Unrouted requests hit the default workload's warm plan.
+        assert unrouted.source == "warm" and unrouted.key == first.key
+
+        stats = registry.stats()
+        for workload in ("lenet-test", "lenet-twin"):
+            engine_stats = stats["engines"][workload]["requests"]
+            assert engine_stats["engine_resolutions"] == 1
+            assert engine_stats["cold"] == 1
+        assert stats["engines"]["lenet-test"]["requests"]["warm"] == 2
+        assert stats["requests"]["requests"] == 5
+        assert stats["requests"]["engine_resolutions"] == 2
+
+    def test_routed_plans_byte_identical_to_single_workload_servers(
+            self, mini_zoo, twin_zoo):
+        """The registry must not change what is served, only where."""
+        registry = _registry(mini_zoo, twin_zoo)
+        try:
+            async def drive():
+                return (
+                    await registry.plan(_body(workload="lenet-test")),
+                    await registry.plan(_body(workload="lenet-twin")),
+                )
+
+            routed_a, routed_b = asyncio.run(drive())
+        finally:
+            registry.close()
+
+        for zoo, routed in ((mini_zoo, routed_a), (twin_zoo, routed_b)):
+            single = PlanService(PlanEngine(
+                zoo.model,
+                zoo.data.train_x[:96],
+                zoo.data.train_y[:96],
+                workload=zoo.spec.key,
+                cache=PlanArtifactCache(disk=False),
+                curvature_batch_size=96,
+            ))
+            try:
+                direct = asyncio.run(single.plan(_body()))
+            finally:
+                single.close()
+            assert direct.key == routed.key
+            assert direct.data == routed.data
+
+    def test_single_flight_coalescing_is_per_engine(self, mini_zoo, twin_zoo):
+        """N identical concurrent POSTs to either workload: 1 resolution each."""
+        registry = _registry(mini_zoo, twin_zoo)
+        try:
+            async def burst():
+                return await asyncio.gather(*(
+                    registry.plan(_body(workload=workload))
+                    for workload in ("lenet-test", "lenet-twin")
+                    for _ in range(8)
+                ))
+
+            served = asyncio.run(burst())
+        finally:
+            registry.close()
+
+        assert len({plan.key for plan in served}) == 2
+        stats = registry.stats()
+        for workload in ("lenet-test", "lenet-twin"):
+            counters = stats["engines"][workload]["requests"]
+            assert counters["engine_resolutions"] == 1
+            assert counters["cold"] == 1
+            assert counters["coalesced"] == 7
+
+    def test_digest_routing(self, mini_zoo, twin_zoo):
+        registry = _registry(mini_zoo, twin_zoo)
+        try:
+            async def drive():
+                await registry.plan(_body(workload="lenet-twin"))
+                digest = registry.service("lenet-twin").engine._model_digest
+                routed = await registry.plan(_body(model=digest))
+                return digest, routed
+
+            digest, routed = asyncio.run(drive())
+            assert routed.source == "warm"  # same engine, same key space
+            rows = {
+                row["workload"]: row for row in registry.models()["models"]
+            }
+            assert rows["lenet-twin"]["model"] == digest
+
+            with pytest.raises(PlanRequestError) as excinfo:
+                asyncio.run(registry.plan(_body(model="f" * 16)))
+            assert "unknown model digest" in str(excinfo.value)
+            assert registry.counters["bad_requests"] == 1
+        finally:
+            registry.close()
+
+    def test_route_field_validation(self, mini_zoo, twin_zoo):
+        registry = _registry(mini_zoo, twin_zoo)
+        try:
+            for body in (
+                _body(workload="nope"),
+                _body(workload=7),
+                _body(model="not-a-digest"),
+                _body(workload="lenet-test", model="f" * 16),
+                b"not json",
+            ):
+                with pytest.raises(PlanRequestError):
+                    asyncio.run(registry.plan(body))
+            assert registry.counters["bad_requests"] == 5
+        finally:
+            registry.close()
+
+    def test_models_schema(self, mini_zoo, twin_zoo):
+        registry = _registry(mini_zoo, twin_zoo)
+        try:
+            listing = registry.models()
+            assert listing["default"] == "lenet-test"
+            assert listing["max_engines"] == 0
+            assert [row["workload"] for row in listing["models"]] == [
+                "lenet-test", "lenet-twin",
+            ]
+            # Nothing loaded yet: no digests (unknowable without paying
+            # the load), no counters.
+            for row in listing["models"]:
+                assert row["loaded"] is False
+                assert row["model"] is None
+                assert row["requests"] is None
+
+            asyncio.run(registry.plan(_body(workload="lenet-twin")))
+            rows = {
+                row["workload"]: row for row in registry.models()["models"]
+            }
+            assert rows["lenet-test"]["loaded"] is False
+            twin = rows["lenet-twin"]
+            assert twin["loaded"] is True
+            assert re.fullmatch(r"[0-9a-f]{16}", twin["model"])
+            assert twin["requests"]["cold"] == 1
+            assert twin["requests"]["engine_resolutions"] == 1
+        finally:
+            registry.close()
+
+    def test_engine_cap_lru_retirement(self, mini_zoo, twin_zoo):
+        """Past the cap the least-recently-routed engine retires, drained."""
+        registry = _registry(mini_zoo, twin_zoo, max_engines=1)
+        try:
+            first = asyncio.run(registry.plan(_body(workload="lenet-test")))
+            survivor = registry.service("lenet-test")
+            digest = survivor.engine._model_digest
+
+            asyncio.run(registry.plan(_body(workload="lenet-twin")))
+            assert list(registry._services) == ["lenet-twin"]
+            assert registry.counters["engines_retired"] == 1
+            # The retired executor is shut down (drained, not leaked).
+            assert survivor._executor._shutdown
+
+            # The retired digest still routes: the engine rebuilds lazily
+            # and its plan replays warm from the shared cache — no new
+            # resolution.
+            again = asyncio.run(registry.plan(_body(model=digest)))
+            assert again.source == "warm"
+            assert again.data == first.data
+            assert registry.counters["engines_loaded"] == 3
+            assert registry.counters["engines_retired"] == 2
+            rebuilt = registry.service("lenet-test")
+            assert rebuilt is not survivor
+            assert rebuilt.counters["engine_resolutions"] == 0
+        finally:
+            registry.close()
+
+    def test_cap_validation(self, mini_zoo, twin_zoo, monkeypatch):
+        from repro.robustness.errors import ScenarioConfigError
+        from repro.serve import resolve_max_engines
+
+        with pytest.raises(ScenarioConfigError):
+            _registry(mini_zoo, twin_zoo, max_engines=-1)
+        monkeypatch.setenv("REPRO_SERVE_MAX_ENGINES", "2")
+        assert resolve_max_engines() == 2
+        monkeypatch.setenv("REPRO_SERVE_MAX_ENGINES", "nope")
+        with pytest.raises(ScenarioConfigError):
+            resolve_max_engines()
+
+    def test_split_route_strips_fields_only(self):
+        """Routing fields never reach the per-engine request bytes."""
+        (workload, model), remainder = split_plan_route(
+            _body(workload="lenet-test")
+        )
+        assert (workload, model) == ("lenet-test", None)
+        assert json.loads(remainder.decode("utf-8")) == BODY
+        (workload, model), remainder = split_plan_route(_body())
+        assert (workload, model) == (None, None)
+        assert json.loads(remainder.decode("utf-8")) == BODY
 
 
 # ---------------------------------------------------------------------- HTTP
@@ -378,6 +689,150 @@ class TestForcedShutdown:
         assert service.closed
 
 
+class TestCrossThreadShutdown:
+    def test_request_shutdown_from_foreign_thread_drains(self, mini_zoo):
+        """request_shutdown must work from any thread, unaided.
+
+        An ``asyncio.Event`` set from a foreign thread does not wake
+        the serving loop — the method itself must marshal through
+        ``call_soon_threadsafe``.  The call site here deliberately does
+        NOT (unlike ``_ServerThread.signal``): before the fix this hung
+        the drain until the join timeout.
+        """
+        service = PlanService(_engine(mini_zoo))
+        with _ServerThread(service) as running:
+            with PlanClient(port=running.port) as client:
+                client.healthz()
+            running.server.request_shutdown()
+            running.join()
+        assert running.error is None
+        assert running.result == 0
+
+    def test_request_shutdown_before_start_is_safe(self, mini_zoo):
+        """No loop yet: the signal lands directly, run() exits at once."""
+        service = PlanService(_engine(mini_zoo))
+        server = PlanHTTPServer(service, port=0)
+        server.request_shutdown()
+        assert server._signals == 1
+        assert asyncio.run(server.run(install_signals=False)) == 0
+
+
+class TestContentLengthValidation:
+    """RFC 9110: Content-Length is 1*DIGIT — nothing else."""
+
+    @staticmethod
+    def _raw(port, lines, body=b""):
+        """One raw request; returns the response bytes (read to EOF)."""
+        with socket.create_connection(("127.0.0.1", port), timeout=30) as sock:
+            sock.sendall(
+                "\r\n".join(lines).encode("latin-1") + b"\r\n\r\n" + body
+            )
+            chunks = []
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+        return b"".join(chunks)
+
+    @pytest.fixture()
+    def served(self, mini_zoo):
+        service = PlanService(_engine(mini_zoo))
+        with _ServerThread(service) as running:
+            yield running
+
+    # int() would happily accept every one of these; the parser must
+    # not.  ("²" is a unicode digit: isdigit() is True, isascii() is
+    # not.  OWS-padded values never reach the check — _parse_head
+    # strips them, which RFC 9110 permits.)
+    @pytest.mark.parametrize("value", [
+        "+5", "-0", "1_2", "0x5", "5.", "²", "", "5 5",
+    ])
+    def test_non_digit_content_length_is_single_line_400(self, served, value):
+        response = self._raw(served.port, [
+            "POST /v1/plan HTTP/1.1",
+            "Host: t",
+            f"Content-Length: {value}",
+        ])
+        head, _, body = response.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 400 ")
+        assert b"Connection: close" in head
+        payload = json.loads(body.decode("utf-8"))
+        assert payload["error"] == "malformed Content-Length"
+        assert "\n" not in payload["error"]
+
+    def test_pure_digits_still_parse(self, served):
+        """Leading zeros are legal 1*DIGIT; the body is read exactly."""
+        response = self._raw(served.port, [
+            "GET /healthz HTTP/1.1",
+            "Host: t",
+            "Content-Length: 000",
+            "Connection: close",
+        ])
+        head, _, body = response.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 ")
+        assert json.loads(body.decode("utf-8"))["status"] == "ok"
+
+    def test_absent_content_length_means_empty_body(self, served):
+        response = self._raw(served.port, [
+            "GET /healthz HTTP/1.1",
+            "Host: t",
+            "Connection: close",
+        ])
+        assert response.startswith(b"HTTP/1.1 200 ")
+
+
+class TestRegistryHTTP:
+    def test_multi_workload_over_the_wire(self, mini_zoo, twin_zoo):
+        """One server, two workloads: routing, /v1/models, /statsz."""
+        registry = _registry(mini_zoo, twin_zoo)
+        with _ServerThread(registry) as running:
+            with PlanClient(port=running.port) as client:
+                health = client.healthz()
+                assert health["workloads"] == ["lenet-test", "lenet-twin"]
+                assert health["loaded"] == []
+                assert health["default"] == "lenet-test"
+
+                first = client.plan(BODY, workload="lenet-test")
+                second = client.plan(BODY, workload="lenet-twin")
+                assert first.key != second.key
+                assert first.plan["workload"] == "lenet-test"
+                assert second.plan["workload"] == "lenet-twin"
+
+                rows = {
+                    row["workload"]: row
+                    for row in client.models()["models"]
+                }
+                digest = rows["lenet-twin"]["model"]
+                routed = client.plan(BODY, model=digest)
+                assert routed.source == "warm"
+                assert routed.data == second.data
+
+                with pytest.raises(PlanClientError) as excinfo:
+                    client.plan(BODY, workload="nope")
+                assert excinfo.value.status == 400
+                assert "unknown workload" in str(excinfo.value)
+                assert "\n" not in str(excinfo.value)
+
+                # The shared cache answers warm fetches for any engine.
+                fetched = client.fetch(first.key)
+                assert fetched.data == first.data
+
+                stats = client.statsz()
+                for workload in ("lenet-test", "lenet-twin"):
+                    requests = stats["engines"][workload]["requests"]
+                    assert requests["engine_resolutions"] == 1
+                assert stats["requests"]["bad_requests"] == 1
+                assert stats["requests"]["fetch_hits"] == 1
+                assert stats["registry"]["loaded"] == [
+                    "lenet-test", "lenet-twin",
+                ]
+            running.signal()
+            running.join()
+        assert running.error is None
+        assert running.result == 0
+
+
 # ----------------------------------------------------------------------- CLI
 
 
@@ -448,3 +903,43 @@ class TestServeSubprocess:
         assert proc.returncode == 0, err[-2000:]
         assert "[drained: served 2 plan request(s)" in out
         assert "warm=1 cold=1" in out
+
+    def test_two_workload_serve_both_digests_answer(self, tmp_path):
+        """One process, two preloaded engines: route by either digest."""
+        proc = self._spawn(
+            tmp_path, "--workload", "lenet-digits",
+            "--workload", "convnet-cifar",
+        )
+        try:
+            port, lines = self._await_port(proc)
+            digests = dict(re.findall(
+                r"# plan-serving ([\w-]+) \(model ([0-9a-f]{16})\)",
+                "".join(lines),
+            ))
+            assert set(digests) == {"lenet-digits", "convnet-cifar"}
+            with PlanClient(port=port, timeout=600) as client:
+                rows = {
+                    row["workload"]: row
+                    for row in client.models()["models"]
+                }
+                keys = {}
+                for workload, digest in digests.items():
+                    assert rows[workload]["loaded"] is True
+                    assert rows[workload]["model"] == digest
+                    served = client.plan(BODY, model=digest)
+                    assert served.plan["workload"] == workload
+                    warm = client.plan(BODY, workload=workload)
+                    assert warm.source == "warm"
+                    assert warm.data == served.data
+                    keys[workload] = served.key
+                assert keys["lenet-digits"] != keys["convnet-cifar"]
+            proc.send_signal(signal.SIGTERM)
+            out, err = proc.communicate(timeout=120)
+        except Exception:
+            proc.kill()
+            raise
+        assert proc.returncode == 0, err[-2000:]
+        # The cold/warm split depends on what earlier tests left in the
+        # session's shared disk cache; the totals do not.
+        assert "[drained: served 4 plan request(s)" in out
+        assert "coalesced=0" in out
