@@ -43,6 +43,7 @@ from repro.experiments.reporting import (
 from repro.experiments.retention import render_retention, run_retention
 from repro.experiments.spatial import render_spatial, run_spatial
 from repro.experiments.table1 import render_table1, run_table1
+from repro.obs import TRACER
 from repro.robustness import PartialGridError, ReproError
 from repro.utils.rng import RngStream
 
@@ -216,6 +217,10 @@ def main(argv=None):
                              "already in the artifact cache (e.g. after "
                              "a crash mid-grid; or REPRO_RESUME=1); "
                              "resumed output is byte-identical")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="record trace spans and write them as JSONL "
+                             "to PATH (plus a chrome://tracing twin next "
+                             "to it); results stay byte-identical")
     args = parser.parse_args(argv)
 
     scale = get_scale(args.scale)
@@ -227,43 +232,21 @@ def main(argv=None):
     if args.jobs is not None or args.processes is not None:
         print("note: --jobs/--processes are deprecated; they now combine "
               "into one --workers pool over the work rectangle")
+    if args.trace:
+        from repro.obs import enable_tracing
+
+        enable_tracing()
 
     print(f"# scale preset: {scale.name}")
     for name in todo:
         start = time.time()
         print(f"\n=== {name} ===")
-        if name == "fig1":
-            _run_fig1(scale, out_dir, batched=batched)
-        elif name == "table1":
-            reports.append(_run_table1(
-                scale, out_dir, batched=batched,
-                processes=args.processes, jobs=args.jobs,
-                workers=args.workers,
-                save_plans=args.save_plans, resume=resume))
-        elif name.startswith("fig2"):
-            _run_fig2(scale, out_dir, name[-1], batched=batched,
-                      processes=args.processes)
-        elif name == "devices":
-            reports.append(_run_devices(
-                scale, out_dir, batched=batched,
-                processes=args.processes, jobs=args.jobs,
-                workers=args.workers,
-                save_plans=args.save_plans, resume=resume))
-        elif name == "retention":
-            reports.append(_run_retention(
-                scale, out_dir, batched=batched,
-                processes=args.processes, jobs=args.jobs,
-                workers=args.workers,
-                save_plans=args.save_plans, resume=resume))
-        elif name == "spatial":
-            reports.append(_run_spatial(
-                scale, out_dir, batched=batched,
-                processes=args.processes, jobs=args.jobs,
-                workers=args.workers,
-                save_plans=args.save_plans, resume=resume))
-        elif name == "ablations":
-            _run_ablations(scale, out_dir)
+        with TRACER.span(f"runner.{name}", scale=scale.name):
+            _run_one(name, scale, out_dir, args, batched, resume, reports)
         print(f"[{name} took {time.time() - start:.1f}s]")
+
+    if args.trace:
+        _write_trace(args.trace)
 
     failed = [
         (report.scenario, cell)
@@ -278,6 +261,51 @@ def main(argv=None):
             )
         )
     return 0
+
+
+def _run_one(name, scale, out_dir, args, batched, resume, reports):
+    """Dispatch one experiment name (traced as ``runner.<name>``)."""
+    if name == "fig1":
+        _run_fig1(scale, out_dir, batched=batched)
+    elif name == "table1":
+        reports.append(_run_table1(
+            scale, out_dir, batched=batched,
+            processes=args.processes, jobs=args.jobs,
+            workers=args.workers,
+            save_plans=args.save_plans, resume=resume))
+    elif name.startswith("fig2"):
+        _run_fig2(scale, out_dir, name[-1], batched=batched,
+                  processes=args.processes)
+    elif name == "devices":
+        reports.append(_run_devices(
+            scale, out_dir, batched=batched,
+            processes=args.processes, jobs=args.jobs,
+            workers=args.workers,
+            save_plans=args.save_plans, resume=resume))
+    elif name == "retention":
+        reports.append(_run_retention(
+            scale, out_dir, batched=batched,
+            processes=args.processes, jobs=args.jobs,
+            workers=args.workers,
+            save_plans=args.save_plans, resume=resume))
+    elif name == "spatial":
+        reports.append(_run_spatial(
+            scale, out_dir, batched=batched,
+            processes=args.processes, jobs=args.jobs,
+            workers=args.workers,
+            save_plans=args.save_plans, resume=resume))
+    elif name == "ablations":
+        _run_ablations(scale, out_dir)
+
+
+def _write_trace(path):
+    """Drain the tracer and export JSONL plus its chrome://tracing twin."""
+    from repro.obs import chrome_trace_path, write_chrome_trace, write_spans_jsonl
+
+    spans = TRACER.drain()
+    jsonl = write_spans_jsonl(path, spans)
+    chrome = write_chrome_trace(chrome_trace_path(path), spans)
+    print(f"[trace: {len(spans)} span(s) -> {jsonl} (+ {chrome})]")
 
 
 def run(argv=None):

@@ -55,6 +55,7 @@ from collections import OrderedDict
 
 import numpy as np
 
+from repro.obs.metrics import MetricsRegistry
 from repro.robustness.errors import (
     CacheCorruptionError,
     CacheWriteError,
@@ -193,30 +194,69 @@ class PlanArtifactCache:
         first); default :func:`resolve_memory_items` — i.e.
         ``REPRO_CACHE_MEM_ITEMS``, else ``0`` = unbounded.  Evictions
         degrade to the disk tier and are counted in :meth:`stats`.
+    metrics:
+        A :class:`~repro.obs.metrics.MetricsRegistry` to register the
+        cache's counter families in.  Default: a private registry, so
+        independent cache instances keep independent :meth:`stats`.
+        The serving layer passes its shared registry so cache counters
+        show up on ``/metricsz`` next to request counters.
     """
 
     def __init__(self, root=None, memory=True, disk=True,
                  version=PLAN_CACHE_VERSION, tmp_max_age=3600.0,
-                 memory_items=None):
+                 memory_items=None, metrics=None):
         self.version = int(version)
         self.disk = bool(disk)
         self._memory = OrderedDict() if memory else None
         self.memory_items = resolve_memory_items(memory_items)
         # The serving layer reads warm entries on the event loop while
         # a resolver thread writes cold ones; one uncontended lock keeps
-        # the LRU's read-reorder + insert + evict sequences atomic — and
-        # guards every stats counter, so /statsz never under-counts a
-        # read-modify-write race between the loop and a resolver thread.
+        # the LRU's read-reorder + insert + evict sequences atomic.
+        # Counters carry their own per-child locks in the registry.
         self._memory_lock = threading.Lock()
         self.root = os.path.join(
             root or default_cache_dir(), "plan", f"v{self.version}"
         )
         self.tmp_max_age = float(tmp_max_age)
-        self.hits = {"memory": 0, "disk": 0}
-        self.misses = 0
-        self.quarantined = 0
-        self.producer_retries = 0
-        self.evictions = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        hits = self.metrics.counter(
+            "repro_cache_hits_total", "Artifact cache hits by tier.",
+            labels=("tier",),
+        )
+        self._hits = {
+            "memory": hits.labels(tier="memory"),
+            "disk": hits.labels(tier="disk"),
+        }
+        self._misses = self.metrics.counter(
+            "repro_cache_misses_total", "Artifact cache misses (both tiers)."
+        )
+        self._quarantined = self.metrics.counter(
+            "repro_cache_quarantined_total",
+            "Corrupt artifacts moved aside by the self-healing read path.",
+        )
+        self._producer_retries = self.metrics.counter(
+            "repro_cache_producer_retries_total",
+            "Retries of transiently failing artifact producers.",
+        )
+        self._evictions = self.metrics.counter(
+            "repro_cache_evictions_total",
+            "Memory-tier LRU evictions (entries fall back to disk).",
+        )
+        self._memory_entries = self.metrics.gauge(
+            "repro_cache_memory_entries", "Entries resident in the memory tier."
+        )
+        self._memory_cap = self.metrics.gauge(
+            "repro_cache_memory_cap", "Memory-tier LRU cap (0 = unbounded)."
+        )
+        self._memory_cap.set(self.memory_items)
+        self._memory_entries.set(0)
+        # Touch every counter child so stats()/snapshot() expose the
+        # full catalog from the first read, not only after traffic.
+        for child in self._hits.values():
+            child.inc(0)
+        for family in (self._misses, self._quarantined,
+                       self._producer_retries, self._evictions):
+            family.inc(0)
         if self.disk:
             self._sweep_stale_tmp()
 
@@ -251,8 +291,7 @@ class PlanArtifactCache:
 
     def _quarantine(self, path, reason):
         """Move a rotten artifact aside so the key reads as a miss."""
-        with self._memory_lock:
-            self.quarantined += 1
+        self._quarantined.inc()
         try:
             os.replace(path, path + ".corrupt")
             where = f"quarantined as {os.path.basename(path)}.corrupt"
@@ -302,7 +341,8 @@ class PlanArtifactCache:
             if self.memory_items > 0:
                 while len(self._memory) > self.memory_items:
                     self._memory.popitem(last=False)
-                    self.evictions += 1
+                    self._evictions.inc()
+            self._memory_entries.set(len(self._memory))
 
     # ---------------------------------------------------------------- access
 
@@ -316,8 +356,7 @@ class PlanArtifactCache:
         """
         arrays = self._memory_get(key)
         if arrays is not None:
-            with self._memory_lock:
-                self.hits["memory"] += 1
+            self._hits["memory"].inc()
             return arrays
         if self.disk:
             path = os.path.join(self.root, f"{kind}-{key}.npz")
@@ -328,11 +367,9 @@ class PlanArtifactCache:
                 arrays = self._load_checked(path)
                 if arrays is not None:
                     self._remember(key, arrays)
-                    with self._memory_lock:
-                        self.hits["disk"] += 1
+                    self._hits["disk"].inc()
                     return arrays
-        with self._memory_lock:
-            self.misses += 1
+        self._misses.inc()
         return None
 
     def get(self, kind, config):
@@ -400,8 +437,8 @@ class PlanArtifactCache:
             return producer()
 
         value, attempts = run_with_retry(produce)
-        with self._memory_lock:
-            self.producer_retries += attempts - 1
+        if attempts > 1:
+            self._producer_retries.inc(attempts - 1)
         return self.put(kind, config, value)
 
     # -------------------------------------------------------------- plumbing
@@ -411,6 +448,7 @@ class PlanArtifactCache:
         if self._memory is not None:
             with self._memory_lock:
                 self._memory.clear()
+                self._memory_entries.set(0)
 
     def stats(self):
         """Every counter the cache keeps, as one flat dict.
@@ -418,20 +456,13 @@ class PlanArtifactCache:
         This is the *single* stats surface: :class:`~repro.robustness.
         report.RunReport` embeds it verbatim and the serving layer's
         ``/statsz`` endpoint returns it verbatim — consumers must not
-        re-derive counters from cache internals.
+        re-derive counters from cache internals.  The dict itself is a
+        flat view over ``metrics.snapshot()`` (families prefixed
+        ``repro_cache_``), so a counter registered once shows up here,
+        in :func:`~repro.robustness.report.render_cache_stats`, and on
+        ``/metricsz`` without further plumbing.
         """
-        with self._memory_lock:
-            return {
-                **self.hits,
-                "misses": self.misses,
-                "quarantined": self.quarantined,
-                "producer_retries": self.producer_retries,
-                "evictions": self.evictions,
-                "memory_entries": (
-                    len(self._memory) if self._memory is not None else 0
-                ),
-                "memory_cap": self.memory_items,
-            }
+        return self.metrics.flat("repro_cache_")
 
     def __repr__(self):
         tiers = []

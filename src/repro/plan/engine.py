@@ -39,6 +39,7 @@ from repro.core.extensions import (
     variance_map_from_stack,
 )
 from repro.core.metrics import DEFAULT_NWC_TARGETS
+from repro.obs.trace import span
 from repro.core.selection import WeightSpace, rank_descending
 from repro.core.sensitivity import MagnitudeScorer, SwimScorer
 from repro.plan.cache import (
@@ -398,17 +399,18 @@ class PlanEngine:
         config = self._curvature_config(curvature_batches)
 
         def produce():
-            self.stats["curvature_passes"] += 1
-            scorer = SwimScorer(
-                batch_size=self.curvature_batch_size,
-                max_batches=int(curvature_batches),
-            )
-            return {
-                "scores": scorer.scores(
-                    self.model, self.space, self.sense_x, self.sense_y
-                ),
-                "tie": scorer.tie_break(self.model, self.space),
-            }
+            with span("plan.curvature", batches=int(curvature_batches)):
+                self.stats["curvature_passes"] += 1
+                scorer = SwimScorer(
+                    batch_size=self.curvature_batch_size,
+                    max_batches=int(curvature_batches),
+                )
+                return {
+                    "scores": scorer.scores(
+                        self.model, self.space, self.sense_x, self.sense_y
+                    ),
+                    "tie": scorer.tie_break(self.model, self.space),
+                }
 
         arrays = self.cache.get_or_create("curvature", config, produce)
         return arrays["scores"], arrays["tie"]
@@ -421,18 +423,19 @@ class PlanEngine:
         config = self._variance_config(request, technology, mapping, stack)
 
         def produce():
-            self.stats["variance_passes"] += 1
-            if stack is not None:
-                variance = variance_map_from_stack(
-                    self.space, self.model, mapping, stack,
-                    read_time=request.read_time,
-                    wear_inflation=config["wear_inflation"],
-                )
-            else:
-                variance = variance_map_from_mapping(
-                    self.space, self.model, mapping
-                )
-            return {"variance": variance}
+            with span("plan.variance", read_time=request.read_time):
+                self.stats["variance_passes"] += 1
+                if stack is not None:
+                    variance = variance_map_from_stack(
+                        self.space, self.model, mapping, stack,
+                        read_time=request.read_time,
+                        wear_inflation=config["wear_inflation"],
+                    )
+                else:
+                    variance = variance_map_from_mapping(
+                        self.space, self.model, mapping
+                    )
+                return {"variance": variance}
 
         return self.cache.get_or_create("variance", config, produce)["variance"]
 
@@ -491,17 +494,19 @@ class PlanEngine:
                 f"method {method!r} has no deterministic plan; plannable: "
                 f"{PLANNED_METHODS}"
             )
-        return self.cache.get_or_create("order", config, produce)["order"]
+        with span("plan.order", method=method):
+            return self.cache.get_or_create("order", config, produce)["order"]
 
     def plan(self, request):
         """Resolve one request into a :class:`SelectionPlan`."""
         resolved = request.resolve()
         technology = resolved[0]
-        orders = {
-            method: self._order(method, request, resolved)
-            for method in request.methods
-            if method in PLANNED_METHODS
-        }
+        with span("plan.resolve", workload=self.workload):
+            orders = {
+                method: self._order(method, request, resolved)
+                for method in request.methods
+                if method in PLANNED_METHODS
+            }
         self.stats["plans"] += 1
         return SelectionPlan(
             workload=self.workload,

@@ -64,6 +64,7 @@ import warnings
 from dataclasses import dataclass, field
 
 from repro.core.mc import default_trial_block, no_trial_pool
+from repro.obs.trace import span
 from repro.plan.cache import data_digest
 from repro.plan.engine import PlanEngine, PlanRequest
 from repro.robustness.errors import CacheWriteError, ScenarioConfigError
@@ -79,6 +80,7 @@ from repro.robustness.scheduler import (
     resolve_tile_trials,
     resolve_worker_count,
     resolve_workers,
+    scheduler_metrics,
     tile_ranges,
 )
 from repro.robustness.supervisor import (
@@ -208,12 +210,14 @@ class ScenarioOrchestrator:
         Returns — and stores on :attr:`plans` — the
         ``cell key -> SelectionPlan`` mapping.
         """
-        self.plans = {
-            cell.key: plan
-            for cell, plan in zip(
-                cells, self.engine.plan_batch([c.request for c in cells])
-            )
-        }
+        cells = list(cells)
+        with span("scenario.plan", cells=len(cells)):
+            self.plans = {
+                cell.key: plan
+                for cell, plan in zip(
+                    cells, self.engine.plan_batch([c.request for c in cells])
+                )
+            }
         return self.plans
 
     # ----------------------------------------------------------- checkpoints
@@ -408,7 +412,10 @@ class ScenarioOrchestrator:
                 schedule.fire("cell", tile.cell)
             cell = cells[tile.cell]
             request = cell.request
-            with no_trial_pool():
+            with span(
+                "scenario.tile",
+                cell=tile.cell, start=tile.start, stop=tile.stop,
+            ), no_trial_pool():
                 return run_method_sweep(
                     self.zoo,
                     sigma=request.sigma,
@@ -478,49 +485,56 @@ class ScenarioOrchestrator:
                 stacklevel=2,
             )
             parallel = False
-        if parallel:
-            supervised = supervised_map(
-                execute,
-                todo,
-                workers=min(workers, len(todo)),
-                timeout=timeout,
-                retries=retries,
-                labels=labels,
-                on_result=persist,
-            )
-            tile_reports = supervised.reports
-        else:
-            for t in todo:
-                failures = []
-                started = time.monotonic()
-                try:
-                    value, attempts = run_with_retry(
-                        lambda t=t: execute(t),
-                        retries=retries,
-                        failures=failures,
-                    )
-                except ScenarioConfigError:
-                    raise  # a usage error poisons every tile — surface it
-                except Exception as exc:
-                    tile_reports[t] = TaskReport(
-                        item=t,
-                        label=labels[t],
-                        status="failed",
-                        attempts=len(failures),
-                        duration=time.monotonic() - started,
-                        error=_describe(exc),
-                        failures=failures,
-                    )
-                else:
-                    tile_reports[t] = TaskReport(
-                        item=t,
-                        label=labels[t],
-                        status="ok" if attempts == 1 else "recovered",
-                        attempts=attempts,
-                        duration=time.monotonic() - started,
-                        failures=failures,
-                    )
-                    persist(t, value)
+        # The cell span: worker tile spans shipped back through
+        # supervised_map's result channel re-attach under it.
+        with span(
+            "scenario.execute",
+            scenario=scenario or "", tiles=len(todo),
+            workers=int(workers or 0),
+        ):
+            if parallel:
+                supervised = supervised_map(
+                    execute,
+                    todo,
+                    workers=min(workers, len(todo)),
+                    timeout=timeout,
+                    retries=retries,
+                    labels=labels,
+                    on_result=persist,
+                )
+                tile_reports = supervised.reports
+            else:
+                for t in todo:
+                    failures = []
+                    started = time.monotonic()
+                    try:
+                        value, attempts = run_with_retry(
+                            lambda t=t: execute(t),
+                            retries=retries,
+                            failures=failures,
+                        )
+                    except ScenarioConfigError:
+                        raise  # a usage error poisons every tile — surface it
+                    except Exception as exc:
+                        tile_reports[t] = TaskReport(
+                            item=t,
+                            label=labels[t],
+                            status="failed",
+                            attempts=len(failures),
+                            duration=time.monotonic() - started,
+                            error=_describe(exc),
+                            failures=failures,
+                        )
+                    else:
+                        tile_reports[t] = TaskReport(
+                            item=t,
+                            label=labels[t],
+                            status="ok" if attempts == 1 else "recovered",
+                            attempts=attempts,
+                            duration=time.monotonic() - started,
+                            failures=failures,
+                        )
+                        persist(t, value)
         report.tiles_computed = sum(1 for t in todo if t in tile_values)
 
         # --- fold tile reports into per-cell records.
@@ -565,6 +579,12 @@ class ScenarioOrchestrator:
         for index in range(len(cells)):
             report.add(records[index])
         report.cache = self.cache.stats()
+        metrics = scheduler_metrics()
+        metrics["workers"].set(int(workers or 0))
+        metrics["tiles"].labels(result="cached").inc(report.tiles_cached)
+        metrics["tiles"].labels(result="computed").inc(report.tiles_computed)
+        for record in records.values():
+            metrics["cells"].labels(status=record.status).inc()
         return {
             cells[index].key: outcomes[index]
             for index in range(len(cells))

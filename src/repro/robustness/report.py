@@ -33,17 +33,30 @@ def cache_eventful(stats):
     return any(stats.get(counter, 0) for counter in CACHE_EVENT_COUNTERS)
 
 
+#: Tier-hit keys folded into one leading ``hits=`` figure.
+_HIT_TIER_KEYS = ("memory", "disk")
+
+#: Keys always rendered (zero or not), in this order, after ``hits``.
+_LEAD_KEYS = ("misses", "quarantined", "producer_retries")
+
+
 def render_cache_stats(stats):
-    """One-line human summary of a cache ``stats()`` dict."""
-    line = (
-        f"hits={stats.get('memory', 0) + stats.get('disk', 0)}"
-        f" misses={stats.get('misses', 0)}"
-        f" quarantined={stats.get('quarantined', 0)}"
-        f" producer_retries={stats.get('producer_retries', 0)}"
+    """One-line human summary of a cache ``stats()`` dict.
+
+    Generic over the dict — the headline counters render in a fixed
+    order, and *every other* nonzero entry follows (sorted), so a
+    counter added to the cache's registry once shows up here, on
+    ``/statsz``, and on ``/metricsz`` without touching this function.
+    """
+    parts = [f"hits={sum(stats.get(key, 0) for key in _HIT_TIER_KEYS)}"]
+    parts.extend(f"{key}={stats.get(key, 0)}" for key in _LEAD_KEYS)
+    rendered = set(_HIT_TIER_KEYS) | set(_LEAD_KEYS)
+    parts.extend(
+        f"{key}={stats[key]}"
+        for key in sorted(stats)
+        if key not in rendered and stats[key]
     )
-    if stats.get("evictions", 0):
-        line += f" evictions={stats['evictions']}"
-    return line
+    return " ".join(parts)
 
 #: Cell statuses in severity order (render order for anomalies).
 #: ``cached`` means every evaluation tile of the cell was served from

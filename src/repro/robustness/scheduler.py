@@ -38,6 +38,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
+from repro.obs.metrics import get_registry
 from repro.robustness.errors import ScenarioConfigError
 
 __all__ = [
@@ -47,8 +48,36 @@ __all__ = [
     "resolve_tile_trials",
     "resolve_worker_count",
     "resolve_workers",
+    "scheduler_metrics",
     "tile_ranges",
 ]
+
+
+def scheduler_metrics(registry=None):
+    """The scheduler's metric families (global registry by default).
+
+    The orchestrator feeds these as it executes a work rectangle:
+    ``tiles`` counts decomposition outcomes by ``result`` (``cached`` /
+    ``computed``), ``cells`` counts cell completions by final status,
+    ``workers`` records the last resolved pool size.
+    """
+    registry = registry if registry is not None else get_registry()
+    return {
+        "tiles": registry.counter(
+            "repro_scheduler_tiles_total",
+            "Work-rectangle tiles by outcome.",
+            labels=("result",),
+        ),
+        "cells": registry.counter(
+            "repro_scheduler_cells_total",
+            "Scenario cells by final status.",
+            labels=("status",),
+        ),
+        "workers": registry.gauge(
+            "repro_scheduler_workers",
+            "Most recently resolved worker-pool size (0 = serial).",
+        ),
+    }
 
 #: Upper bound on tiles per cell when no explicit tile size is given:
 #: enough grain to saturate a many-core box on a handful of cells,

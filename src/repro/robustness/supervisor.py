@@ -37,6 +37,8 @@ import warnings
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro.obs.metrics import get_registry
+from repro.obs.trace import TRACER
 from repro.robustness.errors import (
     ScenarioConfigError,
     is_retryable,
@@ -166,6 +168,35 @@ def _describe(exc):
     return f"{type(exc).__name__}: {exc}"
 
 
+def _supervisor_metrics():
+    """The supervisor's counter families in the global registry."""
+    registry = get_registry()
+    return {
+        "tasks": registry.counter(
+            "repro_supervisor_tasks_total",
+            "Supervised tasks by final status.",
+            labels=("status",),
+        ),
+        "retries": registry.counter(
+            "repro_supervisor_retries_total",
+            "Task retries scheduled after a failed attempt.",
+        ),
+        "crashes": registry.counter(
+            "repro_supervisor_crashes_total",
+            "Workers that died before reporting a result.",
+        ),
+        "timeouts": registry.counter(
+            "repro_supervisor_timeouts_total",
+            "Workers killed for exceeding the wall-clock budget.",
+        ),
+    }
+
+
+def _count_statuses(metrics, result):
+    for report in result.reports.values():
+        metrics["tasks"].labels(status=report.status).inc()
+
+
 def run_with_retry(fn, retries=None, backoff=None, failures=None):
     """Run ``fn()`` with the supervisor's retry policy, in-process.
 
@@ -192,13 +223,27 @@ def run_with_retry(fn, retries=None, backoff=None, failures=None):
 
 
 def _child_run(fn, item, out_queue):
-    """Worker body: report the value, or the error and its retryability."""
+    """Worker body: report the value, or the error and its retryability.
+
+    When tracing is enabled the worker also ships the spans it recorded:
+    the fork copied the parent's span buffer *and* its open-span stack,
+    so the child drops the inherited context (its spans must root at the
+    task, not under a span the parent closes independently) and sends
+    only spans recorded past the fork point.  The parent re-attaches
+    them under the span that was open when the map was entered.
+    """
+    tracing = TRACER.enabled
+    if tracing:
+        TRACER.reset_context()
+        baseline = TRACER.mark()
     try:
         value = fn(item)
     except BaseException as exc:
-        out_queue.put((item, "error", _describe(exc), is_retryable(exc)))
+        spans = TRACER.take_since(baseline) if tracing else None
+        out_queue.put((item, "error", _describe(exc), is_retryable(exc), spans))
     else:
-        out_queue.put((item, "ok", value))
+        spans = TRACER.take_since(baseline) if tracing else None
+        out_queue.put((item, "ok", value, spans))
 
 
 def supervised_map(fn, items, workers, timeout=None, retries=None,
@@ -248,6 +293,15 @@ def supervised_map(fn, items, workers, timeout=None, retries=None,
             for item in items
         },
     )
+    metrics = _supervisor_metrics()
+    # Worker spans re-attach under the span open at map entry (the cell
+    # span in the orchestrator) so traces nest across the fork boundary.
+    adopt_parent = TRACER.current_span_id() if TRACER.enabled else None
+
+    def adopt_spans(spans):
+        if TRACER.enabled and spans:
+            TRACER.adopt(spans, parent=adopt_parent)
+
     if not has_fork():
         # The payload crosses to workers via fork (closures over models
         # never pickle), so a fork-less platform cannot run the pool at
@@ -279,7 +333,10 @@ def supervised_map(fn, items, workers, timeout=None, retries=None,
                 result.values[item] = value
                 if on_result is not None:
                     on_result(item, value)
+            if report.attempts > 1:
+                metrics["retries"].inc(report.attempts - 1)
             report.duration = time.monotonic() - started
+        _count_statuses(metrics, result)
         return result
     ctx = multiprocessing.get_context("fork")
     out_queue = ctx.Queue()
@@ -301,6 +358,7 @@ def supervised_map(fn, items, workers, timeout=None, retries=None,
         report.attempts = attempt
         report.failures.append(error)
         if retryable and attempt <= retries:
+            metrics["retries"].inc()
             delay = backoff * (2 ** (attempt - 1))
             pending.append((item, attempt + 1, time.monotonic() + delay))
         elif retryable and serial_fallback:
@@ -339,8 +397,10 @@ def supervised_map(fn, items, workers, timeout=None, retries=None,
                 proc, _, attempt, started, _ = entry
                 proc.join()
                 if message[1] == "ok":
+                    adopt_spans(message[3] if len(message) > 3 else None)
                     succeed(item, message[2], attempt, started)
                 else:
+                    adopt_spans(message[4] if len(message) > 4 else None)
                     fail_attempt(item, attempt, message[2], message[3])
                 continue  # drain eagerly before liveness checks
 
@@ -351,6 +411,7 @@ def supervised_map(fn, items, workers, timeout=None, retries=None,
                     proc.kill()
                     proc.join()
                     running.pop(item)
+                    metrics["timeouts"].inc()
                     fail_attempt(
                         item, attempt,
                         f"CellTimeoutError: task exceeded {timeout:g}s "
@@ -366,6 +427,7 @@ def supervised_map(fn, items, workers, timeout=None, retries=None,
                         proc.join()
                         running.pop(item)
                         code = proc.exitcode
+                        metrics["crashes"].inc()
                         fail_attempt(
                             item, attempt,
                             "WorkerCrashError: worker exited with "
@@ -396,4 +458,5 @@ def supervised_map(fn, items, workers, timeout=None, retries=None,
             result.values[item] = value
             if on_result is not None:
                 on_result(item, value)
+    _count_statuses(metrics, result)
     return result

@@ -45,7 +45,7 @@ __all__ = ["build_service", "run", "serve_main"]
 
 
 def build_service(workloads=("lenet-digits",), scale=None, resolve_workers=1,
-                  cache=None, max_engines=None, preload=True):
+                  cache=None, max_engines=None, preload=True, metrics=None):
     """Wire a :class:`PlanEngineRegistry` over a scale's model zoo.
 
     ``workloads`` (a name or a sequence) are preloaded eagerly — the
@@ -54,6 +54,11 @@ def build_service(workloads=("lenet-digits",), scale=None, resolve_workers=1,
     :func:`repro.plan.engine.build_engine` (sense set = the scale's
     training-subset slice, curvature batch size capped at 256), so
     served plans are the ones a scenario run would compute.
+
+    One shared :class:`~repro.obs.metrics.MetricsRegistry` (``metrics``,
+    default fresh) spans the engine registry, every per-workload
+    service, and — when the cache is built here — the artifact cache,
+    so ``GET /metricsz`` is a single exposition for the whole process.
     """
     from repro.experiments.config import get_scale
     from repro.plan.engine import build_engine
@@ -77,6 +82,7 @@ def build_service(workloads=("lenet-digits",), scale=None, resolve_workers=1,
         cache=cache,
         resolve_workers=resolve_workers,
         max_engines=max_engines,
+        metrics=metrics,
     )
     if preload:
         for workload in workloads:
@@ -95,7 +101,8 @@ def serve_main(argv=None):
     parser = argparse.ArgumentParser(
         prog="runner serve",
         description="Serve selection plans over HTTP (POST /v1/plan, "
-                    "GET /v1/plan/<key>, /v1/models, /healthz, /statsz).",
+                    "GET /v1/plan/<key>, /v1/models, /healthz, /statsz, "
+                    "/metricsz).",
     )
     parser.add_argument("--workload", action="append", default=None,
                         dest="workloads", metavar="WORKLOAD",

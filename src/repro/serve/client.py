@@ -55,13 +55,38 @@ class PlanResponse:
 
 
 class PlanClient:
-    """Talks to one :class:`~repro.serve.http.PlanHTTPServer`."""
+    """Talks to one :class:`~repro.serve.http.PlanHTTPServer`.
+
+    After every round trip the client keeps the server's correlation
+    headers: :attr:`last_request_id` (the ``X-Request-Id`` the server
+    attached to the response *and* to its ``http.request`` trace span)
+    and :attr:`last_server_ms` (``X-Server-Ms``, the server-side
+    dispatch time in milliseconds).  To chase a slow request down to
+    the server's trace JSONL::
+
+        served = client.plan({"technology": "pcm"})
+        if client.last_server_ms and client.last_server_ms > 100:
+            print("slow:", client.last_request_id)
+            # server side (started with tracing enabled):
+            #   grep <last_request_id> trace.jsonl
+            # -> the http.request span with attrs.request_id ==
+            #    last_request_id carries the route, status, and exact
+            #    start/dur of this very request.
+
+    A large client-measured latency with a small ``last_server_ms``
+    indicts the network or the client, not the service.
+    """
 
     def __init__(self, host="127.0.0.1", port=8321, timeout=60.0):
         self.host = host
         self.port = int(port)
         self.timeout = float(timeout)
         self._conn = None
+        #: ``X-Request-Id`` of the most recent response (None before
+        #: the first round trip or when the server predates the header).
+        self.last_request_id = None
+        #: ``X-Server-Ms`` of the most recent response, as a float.
+        self.last_server_ms = None
 
     # ---------------------------------------------------------------- plumbing
 
@@ -91,11 +116,15 @@ class PlanClient:
                 continue
             if response.will_close:
                 self.close()
-            return (
-                response.status,
-                {name.lower(): value for name, value in response.getheaders()},
-                data,
-            )
+            headers = {
+                name.lower(): value for name, value in response.getheaders()
+            }
+            self.last_request_id = headers.get("x-request-id")
+            try:
+                self.last_server_ms = float(headers["x-server-ms"])
+            except (KeyError, ValueError):
+                self.last_server_ms = None
+            return response.status, headers, data
 
     @staticmethod
     def _error_line(status, data):
@@ -166,6 +195,13 @@ class PlanClient:
     def statsz(self):
         """``GET /statsz`` as a dict (counters, cache stats, latency)."""
         return self._json("/statsz")
+
+    def metricsz(self):
+        """``GET /metricsz`` as Prometheus exposition text (str)."""
+        status, _, data = self._request("GET", "/metricsz")
+        if status != 200:
+            raise PlanClientError(self._error_line(status, data), status=status)
+        return data.decode("utf-8")
 
     def close(self):
         if self._conn is not None:

@@ -14,11 +14,19 @@ Routes::
     GET  /v1/models      loaded + loadable workloads, digests, counters
     GET  /healthz        liveness
     GET  /statsz         per-engine counters + aggregate, cache stats
+    GET  /metricsz       Prometheus text exposition (service + cache)
 
 Plan responses carry ``X-Plan-Key`` (the content address, for later
 warm ``GET``\\ s) and ``X-Plan-Source`` (``warm`` / ``cold`` /
 ``coalesced``) so clients and benchmarks can classify without parsing
-bodies.
+bodies.  Every response carries ``X-Request-Id`` (echoing a sane
+client-provided one, else generated) and ``X-Server-Ms`` (dispatch
+wall time), and when tracing is enabled each request records an
+``http.request`` span tagged with the same id — the client/server
+correlation handle (:attr:`~repro.serve.client.PlanClient.
+last_request_id`).  Per-route request counts and latency histograms
+register in the service's metrics registry, so ``/metricsz`` covers
+the transport too.
 
 Shutdown discipline (the contract load tests rely on): the first
 SIGTERM/SIGINT stops accepting, lets in-flight requests finish, and
@@ -31,12 +39,21 @@ from __future__ import annotations
 
 import asyncio
 import json
+import re
 import signal
 import sys
+import time
+import uuid
 
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TRACER
 from repro.robustness.errors import ScenarioConfigError, TransientFaultError
 
 __all__ = ["DEFAULT_PORT", "PlanHTTPServer"]
+
+#: A client-supplied X-Request-Id we are willing to echo (anything else
+#: is replaced, never reflected back into headers or traces).
+_REQUEST_ID = re.compile(r"^[A-Za-z0-9._-]{1,128}$")
 
 #: Default serving port ("swim" on a phone keypad, close enough).
 DEFAULT_PORT = 8321
@@ -88,6 +105,21 @@ class PlanHTTPServer:
         self.host = host
         self.port = int(port)
         self.max_body = int(max_body)
+        # Transport metrics live in the service's registry when it has
+        # one (so /metricsz is a single exposition), else privately.
+        metrics = getattr(service, "metrics", None)
+        if metrics is None:
+            metrics = MetricsRegistry()
+        self._http_requests = metrics.counter(
+            "repro_http_requests_total",
+            "HTTP requests by route and status.",
+            labels=("route", "status"),
+        )
+        self._http_seconds = metrics.histogram(
+            "repro_http_request_seconds",
+            "HTTP dispatch latency by route.",
+            labels=("route",),
+        )
         self._server = None
         self._conn_tasks = set()
         self._inflight = 0
@@ -232,10 +264,28 @@ class PlanHTTPServer:
                     and headers.get("connection", "").lower() != "close"
                     and not self._stopping
                 )
+                request_id = headers.get("x-request-id", "")
+                if not _REQUEST_ID.match(request_id):
+                    request_id = uuid.uuid4().hex[:16]
+                route = self._route_of(target.split("?", 1)[0])
                 self._inflight += 1
+                started = time.monotonic()
                 try:
                     status, payload, extra = await self._dispatch(
                         method, target, body
+                    )
+                    elapsed = time.monotonic() - started
+                    extra = dict(extra or {})
+                    extra.setdefault("X-Request-Id", request_id)
+                    extra.setdefault("X-Server-Ms", f"{elapsed * 1e3:.3f}")
+                    self._http_requests.labels(
+                        route=route, status=str(status)
+                    ).inc()
+                    self._http_seconds.labels(route=route).observe(elapsed)
+                    TRACER.record_span(
+                        "http.request", started, elapsed,
+                        route=route, method=method, status=int(status),
+                        request_id=request_id,
                     )
                     await self._respond(
                         writer, status, payload, extra=extra, keep=keep
@@ -271,6 +321,18 @@ class PlanHTTPServer:
             return None
 
     # ---------------------------------------------------------------- routing
+
+    @staticmethod
+    def _route_of(path):
+        """Normalize a path to a fixed route label (bounded cardinality:
+        arbitrary client paths must not mint metric children)."""
+        if path == "/v1/plan":
+            return "/v1/plan"
+        if path.startswith("/v1/plan/"):
+            return "/v1/plan/<key>"
+        if path in ("/v1/models", "/healthz", "/statsz", "/metricsz"):
+            return path
+        return "other"
 
     async def _dispatch(self, method, target, body):
         """Route one request; returns ``(status, payload, extra_headers)``.
@@ -312,6 +374,15 @@ class PlanHTTPServer:
                 if method != "GET":
                     return 405, {"error": "use GET /statsz"}, None
                 return 200, self.service.stats(), None
+            if path == "/metricsz":
+                if method != "GET":
+                    return 405, {"error": "use GET /metricsz"}, None
+                metricsz = getattr(self.service, "metricsz", None)
+                if metricsz is None:
+                    return 404, {"error": "metrics not supported"}, None
+                return 200, metricsz(), {
+                    "Content-Type": "text/plain; version=0.0.4; charset=utf-8",
+                }
             return 404, {"error": f"no route for {path}"}, None
         except ScenarioConfigError as exc:
             # Bad request content (PlanRequestError and kin): the
@@ -325,17 +396,23 @@ class PlanHTTPServer:
 
     @staticmethod
     async def _respond(writer, status, payload, extra=None, keep=True):
+        extra = dict(extra or {})
+        content_type = extra.pop("Content-Type", None)
         if isinstance(payload, (bytes, bytearray)):
             body = bytes(payload)
+        elif isinstance(payload, str):
+            body = payload.encode("utf-8")
+            if content_type is None:
+                content_type = "text/plain; charset=utf-8"
         else:
             body = (json.dumps(payload) + "\n").encode("utf-8")
         headers = [
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type or 'application/json'}",
             f"Content-Length: {len(body)}",
             f"Connection: {'keep-alive' if keep else 'close'}",
         ]
-        for name, value in (extra or {}).items():
+        for name, value in extra.items():
             headers.append(f"{name}: {value}")
         writer.write("\r\n".join(headers).encode("latin-1") + b"\r\n\r\n" + body)
         try:

@@ -42,6 +42,7 @@ from __future__ import annotations
 import os
 from collections import OrderedDict
 
+from repro.obs.metrics import MetricsRegistry, ZeroedCounter, render_prometheus
 from repro.robustness.errors import ScenarioConfigError
 from repro.serve.codec import (
     PlanRequestError,
@@ -107,10 +108,16 @@ class PlanEngineRegistry:
     max_engines:
         Live-engine cap via :func:`resolve_max_engines`
         (``REPRO_SERVE_MAX_ENGINES``; 0 = unbounded).
+    metrics:
+        The shared :class:`~repro.obs.metrics.MetricsRegistry` every
+        per-workload service registers its families in (default: a
+        fresh one).  When the registry also builds its own cache, the
+        cache shares this registry too, so ``GET /metricsz`` is one
+        exposition covering routing, engines, and artifact tiers.
     """
 
     def __init__(self, engine_factory, workloads, default=None, cache=None,
-                 resolve_workers=1, max_engines=None):
+                 resolve_workers=1, max_engines=None, metrics=None):
         from repro.plan import PlanArtifactCache
 
         workloads = tuple(workloads)
@@ -126,7 +133,11 @@ class PlanEngineRegistry:
         self._factory = engine_factory
         self.workloads = workloads
         self.default = default
-        self.cache = cache if cache is not None else PlanArtifactCache()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.cache = (
+            cache if cache is not None
+            else PlanArtifactCache(metrics=self.metrics)
+        )
         self.resolve_workers = resolve_workers
         self.max_engines = resolve_max_engines(max_engines)
         # workload -> live PlanService, in least-recently-routed order.
@@ -135,13 +146,35 @@ class PlanEngineRegistry:
         # Digests are deterministic functions of the workload spec, so
         # entries survive retirement and never go stale.
         self._digests = {}
-        self.counters = {
-            "bad_requests": 0,     # routing-level 400s (pre-engine)
-            "fetch_hits": 0,
-            "fetch_misses": 0,
-            "engines_loaded": 0,   # factory invocations (incl. rebuilds)
-            "engines_retired": 0,  # LRU retirements past max_engines
+        bad = self.metrics.counter(
+            "repro_serve_registry_bad_requests_total",
+            "Routing-level 400s (pre-engine).",
+        )
+        fetches = self.metrics.counter(
+            "repro_serve_registry_fetches_total",
+            "Workload-agnostic GET /v1/plan/<key> fetches by result.",
+            labels=("result",),
+        )
+        engines = self.metrics.counter(
+            "repro_serve_engines_total",
+            "Engine lifecycle events (loaded includes rebuilds).",
+            labels=("event",),
+        )
+        self._c = {
+            "bad_requests": ZeroedCounter(bad.labels()),
+            "fetch_hits": ZeroedCounter(fetches.labels(result="hit")),
+            "fetch_misses": ZeroedCounter(fetches.labels(result="miss")),
+            "engines_loaded": ZeroedCounter(engines.labels(event="loaded")),
+            "engines_retired": ZeroedCounter(engines.labels(event="retired")),
         }
+
+    @property
+    def counters(self):
+        """Registry-level counter view (plain ints) over the metrics
+        registry children; see :class:`~repro.serve.service.PlanService.
+        counters` for the view semantics.
+        """
+        return {name: child.value for name, child in self._c.items()}
 
     # ---------------------------------------------------------------- routing
 
@@ -161,16 +194,17 @@ class PlanEngineRegistry:
         if service is None:
             engine = self._factory(workload, self.cache)
             service = PlanService(
-                engine, resolve_workers=self.resolve_workers
+                engine, resolve_workers=self.resolve_workers,
+                metrics=self.metrics,
             )
             self._services[workload] = service
             self._digests[engine._model_digest] = workload
-            self.counters["engines_loaded"] += 1
+            self._c["engines_loaded"].inc()
         self._services.move_to_end(workload)
         while self.max_engines > 0 and len(self._services) > self.max_engines:
             _, retired = self._services.popitem(last=False)
             retired.close(wait=False)
-            self.counters["engines_retired"] += 1
+            self._c["engines_retired"].inc()
         return service
 
     def resolve(self, workload=None, model=None):
@@ -204,7 +238,7 @@ class PlanEngineRegistry:
             (workload, model), remainder = split_plan_route(body)
             service = self.resolve(workload, model)
         except Exception:
-            self.counters["bad_requests"] += 1
+            self._c["bad_requests"].inc()
             raise
         return await service.plan(remainder)
 
@@ -216,9 +250,9 @@ class PlanEngineRegistry:
         """
         arrays = self.cache.lookup(PLAN_KIND, key) if is_plan_key(key) else None
         if arrays is None:
-            self.counters["fetch_misses"] += 1
+            self._c["fetch_misses"].inc()
             return None
-        self.counters["fetch_hits"] += 1
+        self._c["fetch_hits"].inc()
         return decode_plan_bytes(arrays)
 
     # -------------------------------------------------------------- plumbing
@@ -282,8 +316,9 @@ class PlanEngineRegistry:
             in_flight += stats["in_flight_coalesced"]
             for name, value in stats["requests"].items():
                 aggregate[name] = aggregate.get(name, 0) + value
+        registry_counters = self.counters
         for name in ("bad_requests", "fetch_hits", "fetch_misses"):
-            aggregate[name] = aggregate.get(name, 0) + self.counters[name]
+            aggregate[name] = aggregate.get(name, 0) + registry_counters[name]
         return {
             "requests": aggregate,
             "in_flight_coalesced": in_flight,
@@ -293,11 +328,19 @@ class PlanEngineRegistry:
                 "loaded": list(self._services),
                 "loadable": list(self.workloads),
                 "max_engines": self.max_engines,
-                "engines_loaded": self.counters["engines_loaded"],
-                "engines_retired": self.counters["engines_retired"],
+                "engines_loaded": registry_counters["engines_loaded"],
+                "engines_retired": registry_counters["engines_retired"],
             },
             "cache": self.cache.stats(),
         }
+
+    def metricsz(self):
+        """``GET /metricsz``: one Prometheus exposition for the whole
+        process — routing counters, every live engine's per-workload
+        families, and the shared cache (deduplicated by registry
+        identity when the cache shares :attr:`metrics`).
+        """
+        return render_prometheus(self.metrics, self.cache.metrics)
 
     def close(self):
         """Shut every live engine's executor down (after the HTTP drain).

@@ -32,6 +32,8 @@ from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
+from repro.obs.metrics import MetricsRegistry, ZeroedCounter, render_prometheus
+from repro.obs.trace import span
 from repro.serve.codec import (
     decode_plan_bytes,
     encode_plan_bytes,
@@ -124,9 +126,19 @@ class PlanService:
         Threads in the cold-resolution executor.  Default 1: engine
         resolutions serialize (they share cache stages), which also
         maximizes stage reuse; the event loop stays free either way.
+    metrics:
+        A :class:`~repro.obs.metrics.MetricsRegistry` to register this
+        service's counter and histogram families in (default: a private
+        one).  Families are labeled by workload, so every engine of a
+        :class:`~repro.serve.registry.PlanEngineRegistry` shares one
+        registry — and one ``/metricsz`` — without colliding.  Registry
+        counters are process-cumulative; the per-service view
+        (:attr:`counters`, ``/statsz``) is zero-based from service
+        construction, so a lazily rebuilt engine still reports fresh
+        numbers.
     """
 
-    def __init__(self, engine, resolve_workers=1):
+    def __init__(self, engine, resolve_workers=1, metrics=None):
         self.engine = engine
         self.cache = engine.cache
         self._executor = ThreadPoolExecutor(
@@ -134,12 +146,83 @@ class PlanService:
             thread_name_prefix="plan-resolve",
         )
         self._inflight = {}  # content key -> asyncio.Task resolving it
-        self.counters = {name: 0 for name in COUNTER_NAMES}
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        workload = engine.workload or "default"
+        self.workload_label = workload
+        requests = self.metrics.counter(
+            "repro_serve_requests_total", "Plan requests served.",
+            labels=("workload",),
+        )
+        plans = self.metrics.counter(
+            "repro_serve_plans_total",
+            "Plan responses by source (warm/cold/coalesced).",
+            labels=("workload", "source"),
+        )
+        fetches = self.metrics.counter(
+            "repro_serve_fetches_total",
+            "Content-addressed GET /v1/plan/<key> fetches by result.",
+            labels=("workload", "result"),
+        )
+        bad = self.metrics.counter(
+            "repro_serve_bad_requests_total", "Malformed plan requests.",
+            labels=("workload",),
+        )
+        errors = self.metrics.counter(
+            "repro_serve_resolve_errors_total",
+            "Failed resolutions (cold requesters and coalesced riders).",
+            labels=("workload",),
+        )
+        resolutions = self.metrics.counter(
+            "repro_serve_engine_resolutions_total",
+            "Engine resolutions — the warm-path tripwire.",
+            labels=("workload",),
+        )
+        self._c = {
+            "requests": ZeroedCounter(requests.labels(workload=workload)),
+            "warm": ZeroedCounter(plans.labels(workload=workload, source="warm")),
+            "cold": ZeroedCounter(plans.labels(workload=workload, source="cold")),
+            "coalesced": ZeroedCounter(
+                plans.labels(workload=workload, source="coalesced")
+            ),
+            "fetch_hits": ZeroedCounter(
+                fetches.labels(workload=workload, result="hit")
+            ),
+            "fetch_misses": ZeroedCounter(
+                fetches.labels(workload=workload, result="miss")
+            ),
+            "bad_requests": ZeroedCounter(bad.labels(workload=workload)),
+            "resolve_errors": ZeroedCounter(errors.labels(workload=workload)),
+            "engine_resolutions": ZeroedCounter(
+                resolutions.labels(workload=workload)
+            ),
+        }
+        histogram = self.metrics.histogram(
+            "repro_serve_plan_seconds",
+            "Plan-request latency by source.",
+            labels=("workload", "source"),
+        )
+        self._latency_hist = {
+            source: histogram.labels(workload=workload, source=source)
+            for source in ("warm", "cold", "coalesced")
+        }
         self.latency = {
             "warm": LatencyWindow(),
             "cold": LatencyWindow(),
             "coalesced": LatencyWindow(),
         }
+
+    @property
+    def counters(self):
+        """Per-service counter view — plain ints keyed by
+        :data:`COUNTER_NAMES`, zero-based from service construction.
+        The backing registry children keep process-cumulative counts
+        for ``/metricsz``.
+        """
+        return {name: child.value for name, child in self._c.items()}
+
+    def _record_latency(self, source, seconds):
+        self.latency[source].record(seconds)
+        self._latency_hist[source].observe(seconds)
 
     # ---------------------------------------------------------------- serving
 
@@ -153,7 +236,7 @@ class PlanService:
         try:
             request = parse_plan_request(body)
         except Exception:
-            self.counters["bad_requests"] += 1
+            self._c["bad_requests"].inc()
             raise
         config = plan_config(self.engine, request)
         key = self.cache.key(PLAN_KIND, config)
@@ -181,15 +264,15 @@ class PlanService:
                 # requester *and* every coalesced rider record their
                 # request, source, and latency, plus the error counter —
                 # error load must be visible in /statsz.
-                self.counters["requests"] += 1
-                self.counters[source] += 1
-                self.counters["resolve_errors"] += 1
-                self.latency[source].record(time.perf_counter() - start)
+                self._c["requests"].inc()
+                self._c[source].inc()
+                self._c["resolve_errors"].inc()
+                self._record_latency(source, time.perf_counter() - start)
                 raise
 
-        self.counters["requests"] += 1
-        self.counters[source] += 1
-        self.latency[source].record(time.perf_counter() - start)
+        self._c["requests"].inc()
+        self._c[source].inc()
+        self._record_latency(source, time.perf_counter() - start)
         return ServedPlan(data=data, key=key, source=source)
 
     async def _resolve_async(self, request, config):
@@ -200,8 +283,9 @@ class PlanService:
     def _resolve(self, request, config):
         # The only line in the serving layer that touches the engine:
         # the tripwire counter and the resolution are inseparable.
-        self.counters["engine_resolutions"] += 1
-        data = plan_bytes(self.engine.plan(request))
+        self._c["engine_resolutions"].inc()
+        with span("serve.resolve", workload=self.workload_label):
+            data = plan_bytes(self.engine.plan(request))
         self.cache.put(PLAN_KIND, config, encode_plan_bytes(data))
         return data
 
@@ -213,9 +297,9 @@ class PlanService:
         """
         arrays = self.cache.lookup(PLAN_KIND, key) if is_plan_key(key) else None
         if arrays is None:
-            self.counters["fetch_misses"] += 1
+            self._c["fetch_misses"].inc()
             return None
-        self.counters["fetch_hits"] += 1
+        self._c["fetch_hits"].inc()
         return decode_plan_bytes(arrays)
 
     # -------------------------------------------------------------- plumbing
@@ -269,6 +353,15 @@ class PlanService:
                 for source, window in self.latency.items()
             },
         }
+
+    def metricsz(self):
+        """``GET /metricsz`` payload: Prometheus text exposition.
+
+        Covers this service's request/latency families plus the
+        cache's — merged by registry identity, so a cache sharing the
+        service's registry renders exactly once.
+        """
+        return render_prometheus(self.metrics, self.cache.metrics)
 
     def close(self, wait=True):
         """Shut the resolution executor down (after the HTTP drain).

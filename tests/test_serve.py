@@ -642,6 +642,100 @@ class TestHTTP:
         assert running.result == 0
 
 
+class TestObservabilityHTTP:
+    @pytest.fixture()
+    def served(self, mini_zoo):
+        service = PlanService(_engine(mini_zoo))
+        with _ServerThread(service) as running:
+            with PlanClient(port=running.port) as client:
+                yield SimpleNamespace(
+                    client=client, running=running, service=service
+                )
+
+    def test_metricsz_is_valid_and_covers_all_layers(self, served):
+        from repro.obs.validate import validate_exposition
+
+        served.client.plan(BODY)
+        served.client.plan(BODY)  # one cold + one warm
+        text = served.client.metricsz()
+        assert list(validate_exposition(text)) == []
+        # cache, service, and transport families all in one exposition
+        assert 'repro_cache_hits_total{tier="memory"}' in text
+        assert "repro_cache_misses_total" in text
+        assert "repro_serve_requests_total" in text
+        assert 'repro_serve_plans_total{workload="lenet-test",source="warm"} 1' in text
+        assert "repro_serve_engine_resolutions_total" in text
+        assert 'repro_serve_plan_seconds_bucket{workload="lenet-test",source="cold",le="+Inf"} 1' in text
+        assert 'repro_http_requests_total{route="/v1/plan",status="200"} 2' in text
+        assert 'repro_http_request_seconds_bucket{route="/v1/plan",le="+Inf"} 2' in text
+
+    def test_metricsz_rejects_post(self, served):
+        status, _, _ = served.client._request("POST", "/metricsz")
+        assert status == 405
+
+    def test_request_id_generated_and_echoed(self, served):
+        import http.client as http_client
+
+        served.client.healthz()
+        generated = served.client.last_request_id
+        assert generated and re.fullmatch(r"[0-9a-f]{16}", generated)
+        assert served.client.last_server_ms is not None
+        assert served.client.last_server_ms >= 0.0
+
+        conn = http_client.HTTPConnection(
+            "127.0.0.1", served.running.server.port, timeout=30
+        )
+        try:
+            # A sane client id is echoed verbatim...
+            conn.request("GET", "/healthz",
+                         headers={"X-Request-Id": "trace-me.01"})
+            response = conn.getresponse()
+            response.read()
+            assert response.getheader("X-Request-Id") == "trace-me.01"
+            # ...an unsafe one (header-splitting material) is replaced.
+            conn.request("GET", "/healthz",
+                         headers={"X-Request-Id": "bad id é!"})
+            response = conn.getresponse()
+            response.read()
+            echoed = response.getheader("X-Request-Id")
+            assert echoed != "bad id é!"
+            assert re.fullmatch(r"[0-9a-f]{16}", echoed)
+        finally:
+            conn.close()
+
+    def test_http_span_carries_request_id(self, served):
+        from repro.obs import TRACER, disable_tracing, enable_tracing
+
+        enable_tracing()
+        try:
+            served.client.healthz()
+            spans = [
+                s for s in TRACER.drain() if s["name"] == "http.request"
+            ]
+        finally:
+            disable_tracing()
+            TRACER.drain()
+        assert spans
+        record = spans[-1]
+        assert record["attrs"]["request_id"] == served.client.last_request_id
+        assert record["attrs"]["route"] == "/healthz"
+        assert record["attrs"]["status"] == 200
+
+    def test_registry_metricsz_aggregates_engines(self, mini_zoo, twin_zoo):
+        from repro.obs.validate import validate_exposition
+
+        registry = _registry(mini_zoo, twin_zoo)
+        with _ServerThread(registry) as running:
+            with PlanClient(port=running.port) as client:
+                client.plan({**BODY, "workload": "lenet-test"})
+                client.plan({**BODY, "workload": "lenet-twin"})
+                text = client.metricsz()
+        assert list(validate_exposition(text)) == []
+        assert 'repro_serve_plans_total{workload="lenet-test",source="cold"} 1' in text
+        assert 'repro_serve_plans_total{workload="lenet-twin",source="cold"} 1' in text
+        assert 'repro_serve_engines_total{event="loaded"} 2' in text
+
+
 class TestForcedShutdown:
     def test_second_signal_abandons_and_raises(self):
         """A stuck in-flight request: drain hangs, second signal forces."""
@@ -895,6 +989,14 @@ class TestServeSubprocess:
                 warm = client.plan(BODY)
                 assert warm.source == "warm"
                 assert warm.data == served.data
+                # /metricsz over the real wire: every line well-formed,
+                # the traffic just generated visible in the exposition
+                from repro.obs.validate import validate_exposition
+
+                text = client.metricsz()
+                assert list(validate_exposition(text)) == []
+                assert "repro_serve_plans_total" in text
+                assert 'repro_http_requests_total{route="/v1/plan",status="200"} 2' in text
             proc.send_signal(signal.SIGTERM)
             out, err = proc.communicate(timeout=120)
         except Exception:
